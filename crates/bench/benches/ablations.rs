@@ -1,0 +1,139 @@
+//! Ablation benches for the design choices called out in DESIGN.md §5:
+//! the leftover-budget pot, the conservative `w̄+σ` margin (via σ = 0
+//! workflows), billing granularity, and finite datacenter capacity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfs_bench::{floor_cost, platform, workflow};
+use wfs_platform::BillingPolicy;
+use wfs_scheduler::{heft_budg_with_pot, Pot};
+use wfs_simulator::{simulate, SimConfig};
+use wfs_workflow::gen::{BenchmarkType, GenConfig};
+
+/// Pot on/off: scheduling time and (printed once) the makespan impact.
+fn bench_pot(c: &mut Criterion) {
+    let p = platform();
+    let wf = workflow(BenchmarkType::Montage, 90);
+    let budget = floor_cost(&wf, &p) * 2.0;
+    // Report the quality effect once, outside the timing loop.
+    let cfg = SimConfig::planning();
+    let with =
+        simulate(&wf, &p, &heft_budg_with_pot(&wf, &p, budget, Pot::new()).0, &cfg).unwrap();
+    let without =
+        simulate(&wf, &p, &heft_budg_with_pot(&wf, &p, budget, Pot::disabled()).0, &cfg).unwrap();
+    println!(
+        "ablation_pot: makespan with pot {:.0}s vs without {:.0}s (budget ${budget:.2})",
+        with.makespan, without.makespan
+    );
+
+    let mut g = c.benchmark_group("ablation_pot");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.sample_size(10);
+    g.bench_function("heftbudg_pot_on", |b| {
+        b.iter(|| heft_budg_with_pot(&wf, &p, budget, Pot::new()))
+    });
+    g.bench_function("heftbudg_pot_off", |b| {
+        b.iter(|| heft_budg_with_pot(&wf, &p, budget, Pot::disabled()))
+    });
+    g.finish();
+}
+
+/// Conservative margin: scheduling deterministic (σ=0) vs uncertain (σ=1)
+/// instances — the margin changes the plan, not the algorithmic cost.
+fn bench_sigma_margin(c: &mut Criterion) {
+    let p = platform();
+    let mut g = c.benchmark_group("ablation_sigma_margin");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.sample_size(10);
+    for (label, sigma) in [("sigma0", 0.0), ("sigma100", 1.0)] {
+        let wf = BenchmarkType::Montage.generate(GenConfig::new(90, 1).with_sigma_ratio(sigma));
+        let budget = floor_cost(&wf, &p) * 2.0;
+        g.bench_with_input(BenchmarkId::new("heftbudg", label), &budget, |b, &budget| {
+            b.iter(|| heft_budg_with_pot(&wf, &p, budget, Pot::new()))
+        });
+    }
+    g.finish();
+}
+
+/// Billing granularity and DC capacity: simulation-side ablations.
+fn bench_sim_ablations(c: &mut Criterion) {
+    let p = platform();
+    let wf = workflow(BenchmarkType::Ligo, 90);
+    let budget = floor_cost(&wf, &p) * 2.0;
+    let s = heft_budg_with_pot(&wf, &p, budget, Pot::new()).0;
+
+    let mut g = c.benchmark_group("ablation_simulation");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.sample_size(20);
+    for (label, billing) in [
+        ("per_second", BillingPolicy::PerSecond),
+        ("per_hour", BillingPolicy::PerHour),
+        ("continuous", BillingPolicy::Continuous),
+    ] {
+        let pb = platform().with_billing(billing);
+        g.bench_function(BenchmarkId::new("billing", label), |b| {
+            b.iter(|| simulate(&wf, &pb, &s, &SimConfig::stochastic(1)).unwrap())
+        });
+    }
+    let link = p.datacenter.bandwidth;
+    g.bench_function(BenchmarkId::new("dc", "infinite"), |b| {
+        b.iter(|| simulate(&wf, &p, &s, &SimConfig::stochastic(1)).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("dc", "finite_4links"), |b| {
+        b.iter(|| {
+            simulate(&wf, &p, &s, &SimConfig::stochastic(1).with_dc_capacity(4.0 * link)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// Extension algorithms: MAX-MIN/SUFFERAGE (budget-aware) and the online
+/// controller, timed on the standard 90-task workloads.
+fn bench_extensions(c: &mut Criterion) {
+    use wfs_scheduler::{run_online, Algorithm, OnlineConfig};
+    let p = platform();
+    let wf = wfs_bench::workflow(BenchmarkType::Montage, 90);
+    let budget = floor_cost(&wf, &p) * 2.0;
+
+    let mut g = c.benchmark_group("extension_algorithms");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.sample_size(10);
+    for alg in [Algorithm::MaxMinBudg, Algorithm::SufferageBudg] {
+        g.bench_function(alg.name(), |b| b.iter(|| alg.run(&wf, &p, budget)));
+    }
+    g.bench_function("online_watchdog", |b| {
+        b.iter(|| run_online(&wf, &p, budget, OnlineConfig::with_watchdog(1, budget, 1.0)))
+    });
+    g.bench_function("online_static", |b| {
+        b.iter(|| run_online(&wf, &p, budget, OnlineConfig::static_run(1, budget)))
+    });
+    g.finish();
+}
+
+/// Deadline planning: the budget binary search of Eq. 3.
+fn bench_deadline(c: &mut Criterion) {
+    use wfs_scheduler::min_budget_for_deadline;
+    let p = platform();
+    let wf = wfs_bench::workflow(BenchmarkType::Montage, 60);
+    let mut g = c.benchmark_group("deadline_search");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.sample_size(10);
+    g.bench_function("min_budget_loose", |b| {
+        b.iter(|| min_budget_for_deadline(&wf, &p, 5000.0))
+    });
+    g.bench_function("min_budget_tight", |b| {
+        b.iter(|| min_budget_for_deadline(&wf, &p, 300.0))
+    });
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_pot, bench_sigma_margin, bench_sim_ablations, bench_extensions, bench_deadline
+}
+criterion_main!(benches);

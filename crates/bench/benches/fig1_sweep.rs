@@ -1,0 +1,56 @@
+//! Fig. 1 bench: scheduling cost of the four main algorithms on 90-task
+//! workflows of each type, at a medium budget — the work one point of
+//! Figure 1 requires.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfs_bench::{characteristic_budgets, platform, workflow};
+use wfs_scheduler::Algorithm;
+use wfs_simulator::{simulate, SimConfig};
+use wfs_workflow::gen::BenchmarkType;
+
+fn bench_fig1(c: &mut Criterion) {
+    let p = platform();
+    let mut g = c.benchmark_group("fig1_schedule_90");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.sample_size(10);
+    for ty in BenchmarkType::ALL {
+        let wf = workflow(ty, 90);
+        let [_, (_, medium), _] = characteristic_budgets(&wf, &p);
+        for alg in [
+            Algorithm::MinMin,
+            Algorithm::Heft,
+            Algorithm::MinMinBudg,
+            Algorithm::HeftBudg,
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(alg.name(), ty.name()),
+                &(&wf, medium),
+                |b, (wf, budget)| b.iter(|| alg.run(wf, &p, *budget)),
+            );
+        }
+    }
+    g.finish();
+
+    // The replay cost: one stochastic simulation of a HEFTBUDG schedule.
+    let mut g = c.benchmark_group("fig1_replay_90");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.sample_size(20);
+    for ty in BenchmarkType::ALL {
+        let wf = workflow(ty, 90);
+        let [_, (_, medium), _] = characteristic_budgets(&wf, &p);
+        let s = Algorithm::HeftBudg.run(&wf, &p, medium);
+        g.bench_function(BenchmarkId::new("simulate", ty.name()), |b| {
+            b.iter(|| simulate(&wf, &p, &s, &SimConfig::stochastic(1)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_fig1
+}
+criterion_main!(benches);

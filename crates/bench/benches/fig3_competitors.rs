@@ -1,0 +1,37 @@
+//! Fig. 3 bench: the unrefined competitors BDT and CG against MIN-MINBUDG
+//! and HEFTBUDG on 90-task workflows (the paper observes their scheduling
+//! times are of the same order — Table III backs Fig. 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfs_bench::{characteristic_budgets, platform, workflow};
+use wfs_scheduler::Algorithm;
+use wfs_workflow::gen::BenchmarkType;
+
+fn bench_fig3(c: &mut Criterion) {
+    let p = platform();
+    let mut g = c.benchmark_group("fig3_competitors_90");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.sample_size(10);
+    for ty in BenchmarkType::ALL {
+        let wf = workflow(ty, 90);
+        let [_, (_, medium), _] = characteristic_budgets(&wf, &p);
+        for alg in
+            [Algorithm::MinMinBudg, Algorithm::HeftBudg, Algorithm::Bdt, Algorithm::Cg]
+        {
+            g.bench_with_input(
+                BenchmarkId::new(alg.name(), ty.name()),
+                &(&wf, medium),
+                |b, (wf, budget)| b.iter(|| alg.run(wf, &p, *budget)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_fig3
+}
+criterion_main!(benches);

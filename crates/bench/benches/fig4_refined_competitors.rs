@@ -1,0 +1,34 @@
+//! Fig. 4 bench: refined competitors — HEFTBUDG+/+INV vs CG+ (the paper
+//! reports CG+ an order of magnitude slower than HEFTBUDG+). 30 tasks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfs_bench::{characteristic_budgets, platform, workflow};
+use wfs_scheduler::Algorithm;
+use wfs_workflow::gen::BenchmarkType;
+
+fn bench_fig4(c: &mut Criterion) {
+    let p = platform();
+    let mut g = c.benchmark_group("fig4_refined_competitors_30");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.sample_size(10);
+    for ty in BenchmarkType::ALL {
+        let wf = workflow(ty, 30);
+        let [_, (_, medium), _] = characteristic_budgets(&wf, &p);
+        for alg in [Algorithm::HeftBudgPlus, Algorithm::HeftBudgPlusInv, Algorithm::CgPlus] {
+            g.bench_with_input(
+                BenchmarkId::new(alg.name(), ty.name()),
+                &(&wf, medium),
+                |b, (wf, budget)| b.iter(|| alg.run(wf, &p, *budget)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Substrate benches: workflow generation, DAG analyses, and raw simulator
+//! throughput — the building blocks every figure rests on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfs_bench::{floor_cost, platform, workflow};
+use wfs_scheduler::Algorithm;
+use wfs_simulator::{simulate, SimConfig};
+use wfs_workflow::analysis::{bottom_levels, levels, WeightMode};
+use wfs_workflow::gen::{BenchmarkType, GenConfig};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gen");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    for ty in BenchmarkType::ALL {
+        for n in [90usize, 400] {
+            g.bench_with_input(BenchmarkId::new(ty.name(), n), &n, |b, &n| {
+                b.iter(|| ty.generate(GenConfig::new(n, 1)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let p = platform();
+    let wf = workflow(BenchmarkType::Montage, 400);
+    let mut g = c.benchmark_group("analysis_montage400");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.bench_function("bottom_levels", |b| {
+        b.iter(|| {
+            bottom_levels(&wf, WeightMode::Conservative, p.mean_speed(), p.datacenter.bandwidth)
+        })
+    });
+    g.bench_function("levels", |b| b.iter(|| levels(&wf)));
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let p = platform();
+    let mut g = c.benchmark_group("simulate");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    for n in [90usize, 400] {
+        let wf = workflow(BenchmarkType::Montage, n);
+        let budget = floor_cost(&wf, &p) * 3.0;
+        let s = Algorithm::HeftBudg.run(&wf, &p, budget);
+        g.bench_with_input(BenchmarkId::new("montage", n), &s, |b, s| {
+            b.iter(|| simulate(&wf, &p, s, &SimConfig::stochastic(1)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_generators, bench_analysis, bench_simulator
+}
+criterion_main!(benches);

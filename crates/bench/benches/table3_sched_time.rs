@@ -1,0 +1,70 @@
+//! Table III bench: schedule-computation time (a) for MONTAGE-90 at the
+//! three characteristic budgets, and (b) vs task count at a high budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfs_bench::{characteristic_budgets, platform, workflow};
+use wfs_scheduler::Algorithm;
+use wfs_workflow::gen::BenchmarkType;
+
+/// Table III(a): time to schedule MONTAGE-90 under low/medium/high budgets.
+fn bench_table3a(c: &mut Criterion) {
+    let p = platform();
+    let wf = workflow(BenchmarkType::Montage, 90);
+    let budgets = characteristic_budgets(&wf, &p);
+    let mut g = c.benchmark_group("table3a_montage90");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.sample_size(10);
+    for (level, budget) in budgets {
+        for alg in [
+            Algorithm::MinMin,
+            Algorithm::Heft,
+            Algorithm::MinMinBudg,
+            Algorithm::HeftBudg,
+            Algorithm::Bdt,
+            Algorithm::Cg,
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(alg.name(), level),
+                &budget,
+                |b, &budget| b.iter(|| alg.run(&wf, &p, budget)),
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Table III(b): time to schedule MONTAGE at 30/60/90/400 tasks, high
+/// budget (unrefined algorithms only; the refined ones are covered at
+/// realistic sizes by the fig2/fig4 benches).
+fn bench_table3b(c: &mut Criterion) {
+    let p = platform();
+    let mut g = c.benchmark_group("table3b_scaling");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.sample_size(10);
+    for n in [30usize, 60, 90, 400] {
+        let wf = workflow(BenchmarkType::Montage, n);
+        let [_, _, (_, high)] = characteristic_budgets(&wf, &p);
+        for alg in [
+            Algorithm::MinMin,
+            Algorithm::Heft,
+            Algorithm::MinMinBudg,
+            Algorithm::HeftBudg,
+            Algorithm::Bdt,
+            Algorithm::Cg,
+        ] {
+            g.bench_with_input(BenchmarkId::new(alg.name(), n), &high, |b, &budget| {
+                b.iter(|| alg.run(&wf, &p, budget))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_table3a, bench_table3b
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Shared helpers for the Criterion benchmarks (one bench target per paper
+//! table/figure; see DESIGN.md §4).
+
+use wfs_platform::Platform;
+use wfs_scheduler::{min_cost_schedule, Algorithm};
+use wfs_simulator::{simulate, SimConfig};
+use wfs_workflow::gen::{BenchmarkType, GenConfig};
+use wfs_workflow::Workflow;
+
+/// The paper's platform.
+pub fn platform() -> Platform {
+    Platform::paper_default()
+}
+
+/// Instance 1 of a benchmark type at a given size, σ = 50 %.
+pub fn workflow(ty: BenchmarkType, tasks: usize) -> Workflow {
+    ty.generate(GenConfig::new(tasks, 1))
+}
+
+/// Cost floor of a workflow (all tasks on one cheapest VM).
+pub fn floor_cost(wf: &Workflow, platform: &Platform) -> f64 {
+    simulate(wf, platform, &min_cost_schedule(wf, platform), &SimConfig::planning())
+        .expect("min-cost schedule is valid")
+        .total_cost
+}
+
+/// The three characteristic budgets of Table III: low (minimum), high
+/// (unconstrained), medium (their average).
+pub fn characteristic_budgets(wf: &Workflow, platform: &Platform) -> [(&'static str, f64); 3] {
+    let low = floor_cost(wf, platform);
+    let heft = Algorithm::Heft.run(wf, platform, f64::INFINITY);
+    let high =
+        simulate(wf, platform, &heft, &SimConfig::planning()).expect("valid").total_cost * 2.0;
+    [("low", low), ("medium", (low + high) / 2.0), ("high", high)]
+}

@@ -1,0 +1,289 @@
+//! Extended-version experiments the paper references in §V-B: the impact
+//! of the uncertainty level σ, and of the workflow size, on budget
+//! compliance and the budget needed to match the baseline makespan.
+
+use crate::common::{results_dir, stats_of, write_text};
+use std::fmt::Write as _;
+use wfs_platform::Platform;
+use wfs_scheduler::{run_online, Algorithm, OnlineConfig};
+use wfs_simulator::{simulate, SimConfig};
+use wfs_workflow::gen::{layered_random, BenchmarkType, GenConfig, LayeredParams};
+
+/// σ sweep: for σ ∈ {25, 50, 75, 100}% of the mean, measure HEFTBUDG's and
+/// MIN-MINBUDG's budget-compliance rate and makespan at a fixed budget
+/// multiplier. Also ablates the conservative `w̄+σ` margin: the same budget
+/// with σ = 0 shows what certainty would buy.
+pub fn sigma_sweep(instances: u64, reps: u64) {
+    let platform = Platform::paper_default();
+    let mut md = String::from("## Extended experiment — impact of the uncertainty level σ\n\n");
+    md.push_str("| workflow | σ/mean | algorithm | valid % | makespan (s) | cost ($) |\n");
+    md.push_str("|---|---|---|---|---|---|\n");
+    for ty in BenchmarkType::ALL {
+        for sigma in [0.25, 0.5, 0.75, 1.0] {
+            for alg in [Algorithm::MinMinBudg, Algorithm::HeftBudg] {
+                let mut mks = Vec::new();
+                let mut costs = Vec::new();
+                let mut valid = 0usize;
+                let mut total = 0usize;
+                for inst in 0..instances {
+                    let wf = ty
+                        .generate(GenConfig::new(90, inst).with_sigma_ratio(sigma));
+                    let floor = crate::common::min_cost_floor(&wf, &platform);
+                    let budget = floor * 2.0;
+                    let sched = alg.run(&wf, &platform, budget);
+                    for seed in 0..reps {
+                        let r = simulate(&wf, &platform, &sched, &SimConfig::stochastic(seed))
+                            .expect("valid schedule");
+                        mks.push(r.makespan);
+                        costs.push(r.total_cost);
+                        total += 1;
+                        if r.within_budget(budget) {
+                            valid += 1;
+                        }
+                    }
+                }
+                let mk = stats_of(&mks);
+                let c = stats_of(&costs);
+                writeln!(
+                    md,
+                    "| {} | {:.0}% | {} | {:.0} | {:.0} ± {:.0} | {:.3} ± {:.3} |",
+                    ty.name(),
+                    sigma * 100.0,
+                    alg.name(),
+                    100.0 * valid as f64 / total as f64,
+                    mk.mean,
+                    mk.std,
+                    c.mean,
+                    c.std
+                )
+                .unwrap();
+            }
+        }
+        println!("sigma sweep: {} done", ty.name());
+    }
+    write_text(&results_dir().join("ext_sigma.md"), &md);
+}
+
+/// Model-misspecification robustness: the algorithms plan assuming
+/// Gaussian weights (`w̄ + σ` margin); what happens when reality is
+/// heavy-tailed (log-normal with the same two moments)? Measures budget
+/// compliance and makespan inflation per benchmark type.
+pub fn robustness(instances: u64, reps: u64) {
+    use wfs_simulator::WeightModel;
+    let platform = Platform::paper_default();
+    let mut md = String::from(
+        "## Extended experiment — robustness to weight-model misspecification\n\n\
+         HEFTBUDG plans with the Gaussian-motivated `w̄+σ` margin; executions are\n\
+         replayed under Gaussian vs log-normal (same mean/σ) weights, budget = 2 x min_cost.\n\n\
+         | workflow | weights | valid % | makespan (s) | cost ($) |\n|---|---|---|---|---|\n",
+    );
+    for ty in BenchmarkType::ALL {
+        for (label, heavy) in [("gaussian", false), ("log-normal", true)] {
+            let mut mks = Vec::new();
+            let mut costs = Vec::new();
+            let mut valid = 0usize;
+            let mut total = 0usize;
+            for inst in 0..instances {
+                let wf = ty.generate(GenConfig::new(90, inst));
+                let floor = crate::common::min_cost_floor(&wf, &platform);
+                let budget = floor * 2.0;
+                let (sched, _) = wfs_scheduler::heft_budg(&wf, &platform, budget);
+                for seed in 0..reps {
+                    let model = if heavy {
+                        WeightModel::HeavyTail { seed }
+                    } else {
+                        WeightModel::Stochastic { seed }
+                    };
+                    let r = simulate(&wf, &platform, &sched, &SimConfig::new(model))
+                        .expect("valid schedule");
+                    mks.push(r.makespan);
+                    costs.push(r.total_cost);
+                    total += 1;
+                    valid += r.within_budget(budget) as usize;
+                }
+            }
+            let mk = stats_of(&mks);
+            let c = stats_of(&costs);
+            writeln!(
+                md,
+                "| {} | {} | {:.0} | {:.0} ± {:.0} | {:.3} ± {:.3} |",
+                ty.name(),
+                label,
+                100.0 * valid as f64 / total as f64,
+                mk.mean,
+                mk.std,
+                c.mean,
+                c.std
+            )
+            .unwrap();
+        }
+        println!("robustness: {} done", ty.name());
+    }
+    write_text(&results_dir().join("ext_robustness.md"), &md);
+}
+
+/// Deadline/budget trade-off map — the paper's full objective (Eq. 3):
+/// for each benchmark type, the minimal budget (multiple of min_cost)
+/// HEFTBUDG needs to meet deadlines expressed as multiples of the
+/// unconstrained HEFT makespan.
+pub fn deadline_map() {
+    use wfs_scheduler::min_budget_for_deadline;
+    let platform = Platform::paper_default();
+    let mut md = String::from(
+        "## Extended experiment — budget needed per deadline (Eq. 3)\n\n\
+         Minimal budget (× min_cost) for HEFTBUDG to meet a deadline of k × the\n\
+         unconstrained HEFT makespan, under conservative planning (90 tasks).\n\n\
+         | workflow | 1.0× | 1.2× | 1.5× | 2× | 4× | 8× |\n|---|---|---|---|---|---|---|\n",
+    );
+    for ty in BenchmarkType::ALL {
+        let wf = ty.generate(GenConfig::new(90, 1));
+        let floor = crate::common::min_cost_floor(&wf, &platform);
+        let base_sched = Algorithm::Heft.run(&wf, &platform, f64::INFINITY);
+        let base = simulate(&wf, &platform, &base_sched, &SimConfig::planning())
+            .expect("valid")
+            .makespan;
+        write!(md, "| {} |", ty.name()).unwrap();
+        for k in [1.0, 1.2, 1.5, 2.0, 4.0, 8.0] {
+            match min_budget_for_deadline(&wf, &platform, base * k) {
+                Some((b, _)) => write!(md, " {:.2}× |", b / floor).unwrap(),
+                None => write!(md, " — |").unwrap(),
+            }
+        }
+        md.push('\n');
+        println!("deadline map: {} done", ty.name());
+    }
+    write_text(&results_dir().join("ext_deadline.md"), &md);
+}
+
+/// Extension heuristics sweep: MAX-MIN(BUDG) and SUFFERAGE(BUDG) against
+/// the paper's MIN-MINBUDG/HEFTBUDG on the three benchmarks — testing
+/// whether the budget machinery (Alg. 1–2) composes with other list
+/// schedulers as §IV claims.
+pub fn extras_sweep(scale: crate::common::Scale) {
+    let cells = crate::common::sweep(
+        &BenchmarkType::ALL,
+        90,
+        &[
+            Algorithm::MinMinBudg,
+            Algorithm::HeftBudg,
+            Algorithm::MaxMinBudg,
+            Algorithm::SufferageBudg,
+        ],
+        scale,
+    );
+    let dir = results_dir();
+    crate::common::write_csv(&dir.join("ext_heuristics.csv"), &cells);
+    write_text(
+        &dir.join("ext_heuristics.md"),
+        &crate::common::to_markdown(
+            "Extension — budget-aware MAX-MIN and SUFFERAGE vs the paper's algorithms (90 tasks)",
+            &cells,
+        ),
+    );
+}
+
+/// Online re-scheduling study (paper §VI future work): static HEFTBUDG vs
+/// watchdog-driven interruption/migration, across weight distributions
+/// (Gaussian vs heavy-tailed) and watchdog thresholds, on a wide-speed
+/// platform with a tight budget — the regime where migration is possible.
+pub fn online_study(reps: u64) {
+    let platform = Platform::wide_ladder();
+    let wf = layered_random(
+        LayeredParams { layers: 4, width: 5, edge_prob: 0.3, work: 6000.0, data: 20e6 },
+        GenConfig { tasks: 0, seed: 1, sigma_ratio: 1.0 },
+    );
+    let floor = crate::common::min_cost_floor(&wf, &platform);
+    let budget = floor * 1.2;
+
+    let mut md = String::from(
+        "## Extended experiment — online re-scheduling (§VI future work)\n\n\
+         Wide-speed platform (5/20/80 Gflop/s), 22 long tasks, budget = 1.2 x min_cost.\n\n\
+         | weights | watchdog k | makespan (s) | cost ($) | in budget % | migrations/run |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    for heavy in [false, true] {
+        for k in [None, Some(0.5), Some(1.0), Some(2.0)] {
+            let mut mks = Vec::new();
+            let mut costs = Vec::new();
+            let mut ok = 0usize;
+            let mut migs = 0usize;
+            for seed in 0..reps {
+                let mut cfg = match k {
+                    Some(k) => OnlineConfig::with_watchdog(seed, budget, k),
+                    None => OnlineConfig::static_run(seed, budget),
+                };
+                if heavy {
+                    cfg = cfg.with_heavy_tail();
+                }
+                let out = run_online(&wf, &platform, budget, cfg);
+                mks.push(out.makespan);
+                costs.push(out.total_cost);
+                ok += out.within_budget as usize;
+                migs += out.migrations;
+            }
+            let mk = stats_of(&mks);
+            let c = stats_of(&costs);
+            writeln!(
+                md,
+                "| {} | {} | {:.0} ± {:.0} | {:.3} ± {:.3} | {:.0} | {:.1} |",
+                if heavy { "heavy-tail" } else { "gaussian" },
+                k.map_or("static".into(), |k| format!("{k:.1}σ")),
+                mk.mean,
+                mk.std,
+                c.mean,
+                c.std,
+                100.0 * ok as f64 / reps as f64,
+                migs as f64 / reps as f64
+            )
+            .unwrap();
+        }
+    }
+    write_text(&results_dir().join("ext_online.md"), &md);
+    println!("online study done");
+}
+
+/// Size sweep: minimal budget multiplier HEFTBUDG and MIN-MINBUDG need to
+/// match the HEFT baseline's makespan (within 10 %), per workflow size —
+/// the extended-version analysis behind the paper's observation that the
+/// gap between HEFTBUDG and MIN-MINBUDG shrinks for CYBERSHAKE/LIGO as
+/// they grow more bag-of-tasks-like, but persists for MONTAGE.
+pub fn size_sweep() {
+    let platform = Platform::paper_default();
+    let cfg = SimConfig::planning();
+    let mut md = String::from(
+        "## Extended experiment — budget needed to match the baseline makespan\n\n\
+         Minimal budget (as a multiple of min_cost) at which each algorithm's planned\n\
+         makespan comes within 10% of the HEFT baseline.\n\n",
+    );
+    md.push_str("| workflow | tasks | MIN-MINBUDG | HEFTBUDG |\n|---|---|---|---|\n");
+    for ty in BenchmarkType::ALL {
+        for n in [30usize, 60, 90] {
+            let wf = ty.generate(GenConfig::new(n, 1));
+            let floor = crate::common::min_cost_floor(&wf, &platform);
+            let heft_sched = Algorithm::Heft.run(&wf, &platform, f64::INFINITY);
+            let target = simulate(&wf, &platform, &heft_sched, &cfg).unwrap().makespan * 1.1;
+            let find = |alg: Algorithm| -> Option<f64> {
+                for mult in [1.0, 1.5, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0, 40.0] {
+                    let s = alg.run(&wf, &platform, floor * mult);
+                    let mk = simulate(&wf, &platform, &s, &cfg).unwrap().makespan;
+                    if mk <= target {
+                        return Some(mult);
+                    }
+                }
+                None
+            };
+            let fmt = |m: Option<f64>| m.map_or("—".into(), |m| format!("{m:.1}×"));
+            writeln!(
+                md,
+                "| {} | {} | {} | {} |",
+                ty.name(),
+                n,
+                fmt(find(Algorithm::MinMinBudg)),
+                fmt(find(Algorithm::HeftBudg))
+            )
+            .unwrap();
+        }
+        println!("size sweep: {} done", ty.name());
+    }
+    write_text(&results_dir().join("ext_sizes.md"), &md);
+}

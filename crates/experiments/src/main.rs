@@ -1,0 +1,80 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! ```text
+//! wfs-experiments [--fast] <command>
+//!
+//! commands:
+//!   fig1      Fig. 1 — MIN-MIN(BUDG)/HEFT(BUDG) vs budget (makespan, cost, VMs)
+//!   fig2      Fig. 2 — HEFTBUDG+/+INV vs HEFT/HEFTBUDG
+//!   fig3      Fig. 3 — vs BDT and CG (makespan, % valid, cost)
+//!   fig4      Fig. 4 — HEFTBUDG+/+INV vs CG+
+//!   table3a   Table III(a) — scheduling CPU time vs budget (MONTAGE-90)
+//!   table3b   Table III(b) — scheduling CPU time vs task count
+//!   sigma     extended: impact of the uncertainty level σ
+//!   sizes     extended: budget needed to match the baseline, per size
+//!   online    extended: online re-scheduling study (§VI future work)
+//!   extras    extended: MAX-MIN(BUDG) / SUFFERAGE(BUDG) sweep
+//!   deadline  extended: budget needed per deadline (Eq. 3)
+//!   robustness extended: Gaussian-planned schedules under heavy-tailed reality
+//!   platform  Table II — print the platform instantiation
+//!   all       everything above
+//!
+//! `--fast` shrinks instances/replays for smoke runs. Outputs land in
+//! `results/` (override with WFS_RESULTS_DIR).
+//! ```
+
+mod common;
+mod extended;
+mod figures;
+mod tables;
+
+use common::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let cmd = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_default();
+    let scale = if fast { Scale::fast() } else { Scale::full() };
+    let (t3_reps, include_refined) = if fast { (2, false) } else { (10, true) };
+
+    let started = std::time::Instant::now();
+    match cmd.as_str() {
+        "fig1" => figures::fig1(scale),
+        "fig2" => figures::fig2(scale),
+        "fig3" => figures::fig3(scale),
+        "fig4" => figures::fig4(scale),
+        "table3a" => tables::table3a(t3_reps, include_refined),
+        "table3b" => tables::table3b(t3_reps, include_refined),
+        "sigma" => extended::sigma_sweep(scale.instances, scale.reps),
+        "sizes" => extended::size_sweep(),
+        "online" => extended::online_study(scale.reps),
+        "extras" => extended::extras_sweep(scale),
+        "deadline" => extended::deadline_map(),
+        "robustness" => extended::robustness(scale.instances, scale.reps),
+        "platform" => tables::platform_table(),
+        "all" => {
+            tables::platform_table();
+            figures::fig1(scale);
+            figures::fig2(scale);
+            figures::fig3(scale);
+            figures::fig4(scale);
+            tables::table3a(t3_reps, include_refined);
+            tables::table3b(t3_reps, include_refined);
+            extended::sigma_sweep(scale.instances, scale.reps);
+            extended::size_sweep();
+            extended::online_study(scale.reps);
+            extended::extras_sweep(scale);
+            extended::deadline_map();
+            extended::robustness(scale.instances, scale.reps);
+        }
+        other => {
+            eprintln!("unknown or missing command `{other}`\n");
+            eprintln!(
+                "usage: wfs-experiments [--fast] \
+                 <fig1|fig2|fig3|fig4|table3a|table3b|sigma|sizes|online|extras|platform|all>"
+            );
+            std::process::exit(2);
+        }
+    }
+    println!("done in {:.1}s", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,76 @@
+//! Billing policies: how VM usage duration converts into charged time.
+
+use serde::{Deserialize, Serialize};
+
+/// Granularity at which VM usage time is billed. The paper's platform bills
+/// "for each used second" (§V-A); per-hour billing (classic EC2) and exact
+/// continuous billing are provided for ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum BillingPolicy {
+    /// Round usage up to whole seconds (the paper's model).
+    #[default]
+    PerSecond,
+    /// Round usage up to whole hours (classic IaaS billing).
+    PerHour,
+    /// Charge the exact fractional duration.
+    Continuous,
+}
+
+impl BillingPolicy {
+    /// The number of seconds actually charged for `duration` seconds of use.
+    pub fn charged_seconds(self, duration: f64) -> f64 {
+        assert!(duration >= 0.0, "usage duration cannot be negative");
+        match self {
+            BillingPolicy::PerSecond => duration.ceil(),
+            BillingPolicy::PerHour => (duration / 3600.0).ceil() * 3600.0,
+            BillingPolicy::Continuous => duration,
+        }
+    }
+
+    /// Cost of using a resource priced `cost_per_second` for `duration`
+    /// seconds under this policy.
+    #[inline]
+    pub fn usage_cost(self, duration: f64, cost_per_second: f64) -> f64 {
+        self.charged_seconds(duration) * cost_per_second
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_second_rounds_up() {
+        assert_eq!(BillingPolicy::PerSecond.charged_seconds(10.2), 11.0);
+        assert_eq!(BillingPolicy::PerSecond.charged_seconds(10.0), 10.0);
+        assert_eq!(BillingPolicy::PerSecond.charged_seconds(0.0), 0.0);
+    }
+
+    #[test]
+    fn per_hour_rounds_up_to_hours() {
+        assert_eq!(BillingPolicy::PerHour.charged_seconds(1.0), 3600.0);
+        assert_eq!(BillingPolicy::PerHour.charged_seconds(3600.0), 3600.0);
+        assert_eq!(BillingPolicy::PerHour.charged_seconds(3601.0), 7200.0);
+    }
+
+    #[test]
+    fn continuous_is_exact() {
+        assert_eq!(BillingPolicy::Continuous.charged_seconds(10.2), 10.2);
+    }
+
+    #[test]
+    fn usage_cost_multiplies() {
+        assert!((BillingPolicy::PerSecond.usage_cost(9.5, 0.01) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policies_ordered_by_generosity() {
+        // Continuous <= PerSecond <= PerHour for any duration.
+        for d in [0.1, 1.0, 59.9, 3599.0, 7201.5] {
+            let c = BillingPolicy::Continuous.charged_seconds(d);
+            let s = BillingPolicy::PerSecond.charged_seconds(d);
+            let h = BillingPolicy::PerHour.charged_seconds(d);
+            assert!(c <= s && s <= h, "d={d}");
+        }
+    }
+}

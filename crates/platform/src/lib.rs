@@ -1,0 +1,28 @@
+//! # wfs-platform — the IaaS Cloud platform model
+//!
+//! Substrate crate of the budget-aware scheduling reproduction (IPDPSW
+//! 2018, §III-B/C): heterogeneous VM categories (speed, hourly cost, init
+//! cost, uncharged boot delay), a single datacenter relaying every transfer,
+//! and a configurable billing policy (per-second in the paper).
+//!
+//! ```
+//! use wfs_platform::Platform;
+//!
+//! let p = Platform::paper_default();
+//! assert_eq!(p.category_count(), 3);
+//! // Eq. 1: usage cost + init cost.
+//! let cost = p.vm_cost(p.cheapest(), 3600.0);
+//! assert!((cost - (0.05 + 0.0001)).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+mod billing;
+mod datacenter;
+mod platform;
+mod vm;
+
+pub use billing::BillingPolicy;
+pub use datacenter::Datacenter;
+pub use platform::Platform;
+pub use vm::{CategoryId, VmCategory};

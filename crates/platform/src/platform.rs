@@ -1,0 +1,219 @@
+//! The complete platform: VM categories + datacenter + billing policy.
+
+use crate::billing::BillingPolicy;
+use crate::datacenter::Datacenter;
+use crate::vm::{CategoryId, VmCategory};
+use serde::{Deserialize, Serialize};
+
+/// An IaaS Cloud platform (paper §III-B): `k` VM categories sorted by
+/// non-decreasing hourly cost, a single datacenter relaying all transfers,
+/// and a billing policy. On-demand provisioning: any number of VMs of any
+/// category can be started at any time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    categories: Vec<VmCategory>,
+    /// The shared datacenter.
+    pub datacenter: Datacenter,
+    /// How VM usage time is charged.
+    pub billing: BillingPolicy,
+}
+
+impl Platform {
+    /// Build a platform. Categories are sorted by hourly cost (the paper's
+    /// convention `c_h,1 <= c_h,2 <= ...`; speeds are *expected* but not
+    /// required to follow the same order).
+    ///
+    /// # Panics
+    /// If `categories` is empty.
+    pub fn new(mut categories: Vec<VmCategory>, datacenter: Datacenter) -> Self {
+        assert!(!categories.is_empty(), "platform needs at least one VM category");
+        categories.sort_by(|a, b| {
+            a.cost_per_hour
+                .partial_cmp(&b.cost_per_hour)
+                .expect("costs are finite")
+                .then(a.speed.partial_cmp(&b.speed).expect("speeds are finite"))
+        });
+        Self { categories, datacenter, billing: BillingPolicy::PerSecond }
+    }
+
+    /// Override the billing policy.
+    pub fn with_billing(mut self, billing: BillingPolicy) -> Self {
+        self.billing = billing;
+        self
+    }
+
+    /// The platform used throughout the paper's evaluation (Table II):
+    /// 3 categories with cost increasing in speed, per-second billing,
+    /// 100 s uncharged boot delay, and the datacenter prices quoted in the
+    /// paper ($0.022/h usage, $0.055/GB boundary transfers, 125 MB/s).
+    ///
+    /// The scanned Table II is partly illegible; see DESIGN.md §3 for the
+    /// calibration rationale. Pricing is mildly super-linear in speed
+    /// (cost per Gflop rises with the category, as with real providers'
+    /// size ladders) — with *exactly* proportional pricing the cost of a
+    /// unit of work is category-independent and the budget/speed trade-off
+    /// the paper studies degenerates. Speeds are in Gflop/s and task
+    /// weights in Gflop, so `weight/speed` is seconds.
+    pub fn paper_default() -> Self {
+        Self::new(
+            vec![
+                VmCategory::new("small", 10.0, 0.05, 0.0001, 100.0),
+                VmCategory::new("medium", 20.0, 0.12, 0.0001, 100.0),
+                VmCategory::new("large", 40.0, 0.30, 0.0001, 100.0),
+            ],
+            Datacenter::new(125.0e6, 0.022, 0.055e-9),
+        )
+    }
+
+    /// A platform with a *wide* speed ladder (16× between the smallest and
+    /// largest category, like real providers' size ranges), used by the
+    /// online re-scheduling study: migrating an interrupted task — which
+    /// must redo its work from scratch — can only pay off when much faster
+    /// VMs exist (see `wfs-scheduler::online`).
+    pub fn wide_ladder() -> Self {
+        Self::new(
+            vec![
+                VmCategory::new("nano", 5.0, 0.03, 0.0001, 60.0),
+                VmCategory::new("std", 20.0, 0.15, 0.0001, 60.0),
+                VmCategory::new("xl", 80.0, 0.80, 0.0001, 60.0),
+            ],
+            Datacenter::new(125.0e6, 0.022, 0.055e-9),
+        )
+    }
+
+    /// Number of categories `k`.
+    #[inline]
+    pub fn category_count(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// All categories, cheapest first.
+    #[inline]
+    pub fn categories(&self) -> &[VmCategory] {
+        &self.categories
+    }
+
+    /// The category with the given id.
+    #[inline]
+    pub fn category(&self, id: CategoryId) -> &VmCategory {
+        &self.categories[id.index()]
+    }
+
+    /// Ids of all categories, cheapest first.
+    pub fn category_ids(&self) -> impl Iterator<Item = CategoryId> + '_ {
+        (0..self.categories.len() as u32).map(CategoryId)
+    }
+
+    /// The cheapest category (per hour) — `cat0` by construction.
+    #[inline]
+    pub fn cheapest(&self) -> CategoryId {
+        CategoryId(0)
+    }
+
+    /// The most expensive category (per hour).
+    #[inline]
+    pub fn most_expensive(&self) -> CategoryId {
+        CategoryId(self.categories.len() as u32 - 1)
+    }
+
+    /// The fastest category (highest speed; not necessarily the priciest).
+    pub fn fastest(&self) -> CategoryId {
+        self.category_ids()
+            .max_by(|a, b| {
+                self.category(*a).speed.partial_cmp(&self.category(*b).speed).expect("finite")
+            })
+            .expect("platform is non-empty")
+    }
+
+    /// Mean speed `s̄` over categories — the speed the budget-division
+    /// estimates plan with (paper Eq. 5).
+    pub fn mean_speed(&self) -> f64 {
+        self.categories.iter().map(|c| c.speed).sum::<f64>() / self.categories.len() as f64
+    }
+
+    /// Cost of one VM of category `cat` used for `duration` seconds:
+    /// Eq. 1, `C_v = charged(H_end − H_start) · c_h,k + c_ini,k`.
+    pub fn vm_cost(&self, cat: CategoryId, duration: f64) -> f64 {
+        let c = self.category(cat);
+        self.billing.usage_cost(duration, c.cost_per_second()) + c.init_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let p = Platform::paper_default();
+        assert_eq!(p.category_count(), 3);
+        // Sorted by cost; speeds follow; cost per unit of work rises with
+        // the category (mildly super-linear pricing — DESIGN.md §3).
+        let cats = p.categories();
+        for w in cats.windows(2) {
+            assert!(w[0].cost_per_hour <= w[1].cost_per_hour);
+            assert!(w[0].speed <= w[1].speed);
+            assert!(
+                w[0].cost_per_hour / w[0].speed <= w[1].cost_per_hour / w[1].speed + 1e-12,
+                "cost per Gflop must not decrease with category"
+            );
+        }
+        assert_eq!(p.mean_speed(), (10.0 + 20.0 + 40.0) / 3.0);
+    }
+
+    #[test]
+    fn categories_sorted_on_construction() {
+        let p = Platform::new(
+            vec![
+                VmCategory::new("big", 40.0, 0.20, 0.0, 0.0),
+                VmCategory::new("tiny", 10.0, 0.05, 0.0, 0.0),
+            ],
+            Datacenter::new(1e6, 0.0, 0.0),
+        );
+        assert_eq!(p.category(p.cheapest()).name, "tiny");
+        assert_eq!(p.category(p.most_expensive()).name, "big");
+        assert_eq!(p.fastest(), p.most_expensive());
+    }
+
+    #[test]
+    fn fastest_can_differ_from_most_expensive() {
+        // The paper does not assume speed follows cost; exercise that case.
+        let p = Platform::new(
+            vec![
+                VmCategory::new("cheap-fast", 50.0, 0.05, 0.0, 0.0),
+                VmCategory::new("pricey-slow", 10.0, 0.20, 0.0, 0.0),
+            ],
+            Datacenter::new(1e6, 0.0, 0.0),
+        );
+        assert_eq!(p.category(p.fastest()).name, "cheap-fast");
+        assert_eq!(p.category(p.most_expensive()).name, "pricey-slow");
+    }
+
+    #[test]
+    fn vm_cost_eq1() {
+        let p = Platform::paper_default();
+        // medium: $0.12/h; 10 s usage + init.
+        let c = p.vm_cost(CategoryId(1), 10.0);
+        assert!((c - (10.0 * 0.12 / 3600.0 + 0.0001)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_second_billing_rounds_up_in_vm_cost() {
+        let p = Platform::paper_default();
+        assert_eq!(p.vm_cost(CategoryId(0), 10.5), p.vm_cost(CategoryId(0), 11.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one VM category")]
+    fn empty_platform_rejected() {
+        Platform::new(vec![], Datacenter::new(1e6, 0.0, 0.0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Platform::paper_default();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Platform = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,123 @@
+//! `getBestHost` (paper Algorithm 2): smallest EFT among the candidates
+//! whose cost respects the task's budget share plus the pot.
+
+use crate::plan::{Candidate, HostEval, PlanState};
+use wfs_workflow::TaskId;
+
+/// Tolerance on budget comparisons (absolute, dollars).
+const COST_EPS: f64 = 1e-9;
+
+/// Pick the best host for `t` under the planning state `plan`:
+///
+/// - among candidates with `cost <= limit`, the one with the smallest EFT
+///   (ties: cheaper cost, then used VM before new, then lower id);
+/// - if *no* candidate is affordable, fall back to the globally cheapest
+///   candidate (the schedule must still complete; the paper notes that
+///   `getBestHost` then "will not return the host with the smallest EFT").
+///
+/// `limit = ∞` recovers the baseline MIN-MIN/HEFT behaviour.
+pub fn get_best_host(plan: &PlanState<'_>, t: TaskId, limit: f64) -> HostEval {
+    let evals = plan.evaluate_all(t);
+    debug_assert!(!evals.is_empty(), "a platform always offers new-VM candidates");
+    let key = |e: &HostEval| {
+        // Used-before-New gives stable, reuse-friendly tie-breaking.
+        let (kind, id) = match e.candidate {
+            Candidate::Used(vm) => (0u8, vm.0),
+            Candidate::New(cat) => (1u8, cat.0),
+        };
+        (e.eft, e.cost, kind, id)
+    };
+    let affordable = evals
+        .iter()
+        .filter(|e| e.cost <= limit + COST_EPS)
+        .min_by(|a, b| key(a).partial_cmp(&key(b)).expect("finite planning values"));
+    match affordable {
+        Some(e) => *e,
+        None => *evals
+            .iter()
+            .min_by(|a, b| {
+                (a.cost, a.eft)
+                    .partial_cmp(&(b.cost, b.eft))
+                    .expect("finite planning values")
+            })
+            .expect("non-empty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanState;
+    use wfs_platform::{BillingPolicy, CategoryId, Datacenter, Platform, VmCategory};
+    use wfs_workflow::gen::chain;
+
+    /// Two categories: slow/cheap and fast/expensive; trivial boot/init to
+    /// keep numbers readable.
+    fn p2() -> Platform {
+        Platform::new(
+            vec![
+                VmCategory::new("slow", 1.0, 3.6, 0.0, 0.0),  // $0.001/s
+                VmCategory::new("fast", 4.0, 36.0, 0.0, 0.0), // $0.01/s
+            ],
+            Datacenter::new(1e9, 0.0, 0.0),
+        )
+        .with_billing(BillingPolicy::Continuous)
+    }
+
+    #[test]
+    fn infinite_budget_picks_fastest() {
+        let wf = chain(1, 100.0, 0.0);
+        let p = p2();
+        let plan = PlanState::new(&wf, &p);
+        let best = get_best_host(&plan, wfs_workflow::TaskId(0), f64::INFINITY);
+        // fast: 25 s at $0.01 = $0.25; slow: 100 s at $0.001 = $0.10.
+        assert_eq!(best.candidate, Candidate::New(CategoryId(1)));
+        assert!((best.eft - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_budget_forces_cheap_host() {
+        let wf = chain(1, 100.0, 0.0);
+        let p = p2();
+        let plan = PlanState::new(&wf, &p);
+        // $0.25 needed for fast; give only $0.15.
+        let best = get_best_host(&plan, wfs_workflow::TaskId(0), 0.15);
+        assert_eq!(best.candidate, Candidate::New(CategoryId(0)));
+        assert!((best.cost - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impossible_budget_falls_back_to_cheapest() {
+        let wf = chain(1, 100.0, 0.0);
+        let p = p2();
+        let plan = PlanState::new(&wf, &p);
+        let best = get_best_host(&plan, wfs_workflow::TaskId(0), 0.0);
+        // Nothing is affordable; still returns the cheapest option.
+        assert_eq!(best.candidate, Candidate::New(CategoryId(0)));
+    }
+
+    #[test]
+    fn boundary_budget_is_affordable() {
+        let wf = chain(1, 100.0, 0.0);
+        let p = p2();
+        let plan = PlanState::new(&wf, &p);
+        let best = get_best_host(&plan, wfs_workflow::TaskId(0), 0.25);
+        assert_eq!(best.candidate, Candidate::New(CategoryId(1)), "exact budget must qualify");
+    }
+
+    #[test]
+    fn used_vm_preferred_on_eft_tie() {
+        let wf = chain(2, 100.0, 0.0);
+        let p = Platform::new(
+            vec![VmCategory::new("u", 1.0, 3.6, 0.0, 0.0)],
+            Datacenter::new(1e9, 0.0, 0.0),
+        )
+        .with_billing(BillingPolicy::Continuous);
+        let mut plan = PlanState::new(&wf, &p);
+        plan.commit(wfs_workflow::TaskId(0), Candidate::New(CategoryId(0)));
+        // Chain: task 1 on the used VM starts at 100 (no transfer) vs a new
+        // VM also possible; used wins on EFT (no data transfer + no boot).
+        let best = get_best_host(&plan, wfs_workflow::TaskId(1), f64::INFINITY);
+        assert!(matches!(best.candidate, Candidate::Used(_)));
+    }
+}

@@ -1,0 +1,309 @@
+//! CG and CG+ — Critical Greedy (competitor from [25], extended to this
+//! paper's platform model, §V-D2).
+//!
+//! CG partitions the budget with a global ratio
+//! `gb = (B − c_min) / (c_max − c_min)` where `c_min`/`c_max` are the costs
+//! of running the whole workflow on a single VM of the cheapest / most
+//! expensive category. Each task `t` (taken in HEFT order — [25] leaves the
+//! order unspecified) gets the target budget
+//! `q_t = c_{t,min} + (c_{t,max} − c_{t,min})·gb` and is placed on the VM
+//! *category* whose cost for `t` is closest to `q_t`; within that category
+//! we pick the instance with the best EFT (our extension: [25] has no
+//! communications).
+//!
+//! CG+ refines: while budget remains, re-assign the (task, VM) pair on the
+//! critical path maximizing `ΔT/Δc` (time decrease per extra dollar). As
+//! the paper points out, requiring `Δc > 0` makes CG+ blind to moves that
+//! reduce both time and cost — we reproduce that behaviour faithfully.
+
+use crate::heft::priority_list;
+use crate::plan::{Candidate, PlanState};
+use wfs_platform::{CategoryId, Platform};
+use wfs_simulator::{simulate, Schedule, SimConfig, SimulationReport};
+use wfs_workflow::{TaskId, Workflow};
+
+/// Cost of the whole workflow executed sequentially on one VM of `cat`
+/// (used for `c_min` / `c_max`).
+fn whole_workflow_cost(wf: &Workflow, platform: &Platform, cat: CategoryId) -> f64 {
+    let c = platform.category(cat);
+    let external = wf.external_input_data() + wf.external_output_data();
+    let duration = wf.total_conservative_work() / c.speed
+        + external / platform.datacenter.bandwidth;
+    platform.vm_cost(cat, duration) + platform.datacenter.cost(duration, external)
+}
+
+/// Per-task cost on a given category (conservative weight + predecessor
+/// data transfers).
+fn task_cost_on(wf: &Workflow, platform: &Platform, t: TaskId, cat: CategoryId) -> f64 {
+    let c = platform.category(cat);
+    let occupied = wf.task(t).weight.conservative() / c.speed
+        + wf.pred_data_size(t) / platform.datacenter.bandwidth;
+    occupied * c.cost_per_second()
+}
+
+/// Run CG: category per task via the global budget ratio, instance via EFT.
+pub fn cg(wf: &Workflow, platform: &Platform, b_ini: f64) -> Schedule {
+    // [25] assumes the most expensive category also costs the most for the
+    // whole workflow; with cost linear in speed the *cheapest* category can
+    // cost more overall (longer rental + longer datacenter span), so order
+    // the two bounds before forming the ratio.
+    let a = whole_workflow_cost(wf, platform, platform.cheapest());
+    let b = whole_workflow_cost(wf, platform, platform.most_expensive());
+    let (c_min, c_max) = (a.min(b), a.max(b));
+    let gb = if c_max - c_min > 1e-12 {
+        ((b_ini - c_min) / (c_max - c_min)).clamp(0.0, 1.0)
+    } else if b_ini >= c_min {
+        1.0
+    } else {
+        0.0
+    };
+
+    let mut plan = PlanState::new(wf, platform);
+    for &t in &priority_list(wf, platform) {
+        let t_min = task_cost_on(wf, platform, t, platform.cheapest());
+        let t_max = task_cost_on(wf, platform, t, platform.most_expensive());
+        let target = t_min + (t_max - t_min) * gb;
+        // Category whose cost is closest to the task's predetermined share.
+        // When costs tie (e.g. cost exactly linear in speed makes every
+        // category cost the same for a communication-free task), break
+        // toward the faster category if the global ratio leans rich, the
+        // cheaper one otherwise — otherwise CG would degenerate to the
+        // cheapest category on linear-price platforms.
+        let cat = platform
+            .category_ids()
+            .min_by(|&a, &b| {
+                let da = (task_cost_on(wf, platform, t, a) - target).abs();
+                let db = (task_cost_on(wf, platform, t, b) - target).abs();
+                let tie = if gb >= 0.5 {
+                    platform
+                        .category(b)
+                        .speed
+                        .total_cmp(&platform.category(a).speed)
+                } else {
+                    platform
+                        .category(a)
+                        .speed
+                        .total_cmp(&platform.category(b).speed)
+                };
+                da.total_cmp(&db).then(tie).then(a.0.cmp(&b.0))
+            })
+            .expect("platform is non-empty");
+        // Instance: best EFT among used VMs of that category + a fresh one.
+        let best = plan
+            .candidates()
+            .into_iter()
+            .filter(|c| match *c {
+                Candidate::Used(vm) => plan.schedule().vm_category(vm) == cat,
+                Candidate::New(c2) => c2 == cat,
+            })
+            .map(|c| plan.evaluate(t, c))
+            .min_by(|a, b| a.eft.total_cmp(&b.eft).then(a.cost.total_cmp(&b.cost)))
+            .expect("at least the fresh VM of `cat` is a candidate");
+        plan.commit(t, best.candidate);
+    }
+    plan.into_schedule()
+}
+
+/// Run CG, then the CG+ critical-path refinement.
+pub fn cg_plus(wf: &Workflow, platform: &Platform, b_ini: f64) -> Schedule {
+    let mut sched = cg(wf, platform, b_ini);
+    let cfg = SimConfig::planning();
+    // Rank positions keep per-VM orders executable after moves.
+    let list = priority_list(wf, platform);
+    let mut pos = vec![0usize; wf.task_count()];
+    for (i, &t) in list.iter().enumerate() {
+        pos[t.index()] = i;
+    }
+
+    let mut report = simulate(wf, platform, &sched, &cfg).expect("CG emits a valid schedule");
+    // Bounded loop: each accepted move strictly decreases the makespan;
+    // n*vm_count is a generous cap against float-cycling.
+    for _ in 0..wf.task_count() * 4 {
+        let path = critical_path_tasks(wf, &report);
+        let mut best: Option<(Schedule, SimulationReport, f64)> = None;
+        for &t in &path {
+            let cur = sched.assignment(t).expect("complete schedule");
+            let mut trials: Vec<Schedule> = Vec::new();
+            for vm in sched.vm_ids().filter(|&v| v != cur) {
+                let mut s = sched.clone();
+                s.reassign(t, vm);
+                s.sort_orders_by(|x| pos[x.index()]);
+                trials.push(s);
+            }
+            for cat in platform.category_ids() {
+                let mut s = sched.clone();
+                let vm = s.add_vm(cat);
+                s.reassign(t, vm);
+                s.sort_orders_by(|x| pos[x.index()]);
+                trials.push(s);
+            }
+            for s in trials {
+                let Ok(r) = simulate(wf, platform, &s, &cfg) else { continue };
+                let dt = report.makespan - r.makespan;
+                let dc = r.total_cost - report.total_cost;
+                // Faithful to [25]: only time-decreasing, cost-increasing
+                // moves within budget qualify; the ratio ΔT/Δc is maximized.
+                if dt > 1e-9 && dc > 1e-9 && r.total_cost <= b_ini {
+                    let ratio = dt / dc;
+                    if best.as_ref().is_none_or(|(_, _, b)| ratio > *b) {
+                        best = Some((s, r, ratio));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((s, r, _)) => {
+                sched = s;
+                report = r;
+            }
+            None => break,
+        }
+    }
+    sched.prune_empty_vms();
+    sched
+}
+
+/// Tasks on the critical path of a simulated execution: start from the task
+/// finishing last and walk backwards through the dependency or same-VM
+/// predecessor whose finish time matches the start time.
+fn critical_path_tasks(wf: &Workflow, report: &SimulationReport) -> Vec<TaskId> {
+    let mut path = Vec::new();
+    let Some(mut cur) = report
+        .tasks
+        .iter()
+        .max_by(|a, b| a.end.total_cmp(&b.end))
+        .map(|r| r.task)
+    else {
+        return path;
+    };
+    loop {
+        path.push(cur);
+        let rec = report.task(cur);
+        // Candidate blockers: DAG predecessors and the task right before
+        // `cur` on the same VM. Pick the one finishing latest.
+        let mut blocker: Option<(TaskId, f64)> = None;
+        for p in wf.predecessors(cur) {
+            let end = report.task(p).end;
+            if blocker.is_none_or(|(_, e)| end > e) {
+                blocker = Some((p, end));
+            }
+        }
+        for r in &report.tasks {
+            if r.vm == rec.vm && r.end <= rec.start + 1e-9 && r.task != cur
+                && blocker.is_none_or(|(_, e)| r.end > e) {
+                    blocker = Some((r.task, r.end));
+                }
+        }
+        match blocker {
+            Some((b, _)) if !path.contains(&b) => cur = b,
+            _ => break,
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfs_workflow::gen::{cybershake, ligo, montage, GenConfig};
+
+    fn paper() -> Platform {
+        Platform::paper_default()
+    }
+
+    #[test]
+    fn cg_schedules_everything_valid() {
+        for n in [30, 60] {
+            let wf = montage(GenConfig::new(n, 1));
+            let p = paper();
+            cg(&wf, &p, 2.0).validate(&wf).unwrap();
+        }
+    }
+
+    #[test]
+    fn cg_low_budget_uses_cheapest_category() {
+        let wf = ligo(GenConfig::new(30, 1));
+        let p = paper();
+        let s = cg(&wf, &p, 0.0);
+        for vm in s.vm_ids() {
+            assert_eq!(s.vm_category(vm), p.cheapest());
+        }
+    }
+
+    #[test]
+    fn cg_high_budget_uses_expensive_category() {
+        let wf = ligo(GenConfig::new(30, 1));
+        let p = paper();
+        let s = cg(&wf, &p, 1e6);
+        for vm in s.vm_ids() {
+            assert_eq!(s.vm_category(vm), p.most_expensive());
+        }
+    }
+
+    #[test]
+    fn cg_category_mix_monotone_in_budget() {
+        // CG's global ratio gb moves the whole category mix from
+        // all-cheapest (low budget; the near-min-cost schedules of Fig. 3)
+        // towards all-fastest as the budget grows, with no intermediate
+        // dips — the per-task shares never recycle leftovers, which is why
+        // CG's makespan lags HEFTBUDG's at equal budget.
+        let wf = cybershake(GenConfig::new(60, 1));
+        let p = paper();
+        let floor = simulate(
+            &wf,
+            &p,
+            &crate::min_cost_schedule(&wf, &p),
+            &SimConfig::planning(),
+        )
+        .unwrap()
+        .total_cost;
+        let mean_cat = |b: f64| {
+            let s = cg(&wf, &p, b);
+            let total: u32 = s.vm_ids().map(|v| s.vm_category(v).0).sum();
+            total as f64 / s.vm_count() as f64
+        };
+        let mut prev = -1.0;
+        for mult in [0.5, 0.8, 1.0, 1.5, 3.0, 10.0] {
+            let m = mean_cat(floor * mult);
+            assert!(m >= prev - 1e-9, "category mix dipped at x{mult}: {m} < {prev}");
+            prev = m;
+        }
+        assert_eq!(mean_cat(floor * 0.5), 0.0, "sub-floor budget => all cheapest");
+        assert_eq!(mean_cat(floor * 10.0), 2.0, "rich budget => all fastest");
+    }
+
+    #[test]
+    fn cg_plus_never_worse_and_respects_budget() {
+        let wf = montage(GenConfig::new(30, 1));
+        let p = paper();
+        let cfg = SimConfig::planning();
+        for budget in [1.0, 3.0] {
+            let base = simulate(&wf, &p, &cg(&wf, &p, budget), &cfg).unwrap();
+            let plus_sched = cg_plus(&wf, &p, budget);
+            plus_sched.validate(&wf).unwrap();
+            let plus = simulate(&wf, &p, &plus_sched, &cfg).unwrap();
+            assert!(plus.makespan <= base.makespan + 1e-6);
+            assert!(plus.total_cost <= budget + 1e-9, "cost {}", plus.total_cost);
+        }
+    }
+
+    #[test]
+    fn cg_plus_deterministic() {
+        let wf = montage(GenConfig::new(30, 2));
+        let p = paper();
+        assert_eq!(cg_plus(&wf, &p, 2.0), cg_plus(&wf, &p, 2.0));
+    }
+
+    #[test]
+    fn critical_path_walks_to_an_entryish_task() {
+        let wf = montage(GenConfig::new(30, 1));
+        let p = paper();
+        let s = cg(&wf, &p, 2.0);
+        let r = simulate(&wf, &p, &s, &SimConfig::planning()).unwrap();
+        let path = critical_path_tasks(&wf, &r);
+        assert!(!path.is_empty());
+        // The path ends on the overall last-finishing task's chain start.
+        let last = r.tasks.iter().max_by(|a, b| a.end.total_cmp(&b.end)).unwrap().task;
+        assert_eq!(path[0], last);
+    }
+}

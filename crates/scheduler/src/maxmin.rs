@@ -1,0 +1,200 @@
+//! MAX-MIN and SUFFERAGE — the other two classic list heuristics of the
+//! MIN-MIN family ([6], [14]), plus budget-aware variants built from the
+//! same Algorithm 1/2 machinery as MIN-MINBUDG. Extensions beyond the
+//! paper (its §IV notes the approach applies to any list scheduler).
+//!
+//! - MAX-MIN commits, among the ready tasks, the one whose *best* EFT is
+//!   **largest** (big tasks first, small ones fill the gaps);
+//! - SUFFERAGE commits the task that would *suffer* most if denied its
+//!   best host: maximal difference between its second-best and best EFT.
+
+use crate::best_host::get_best_host;
+use crate::budget::{divide_budget, Pot};
+use crate::plan::{HostEval, PlanState};
+use wfs_platform::Platform;
+use wfs_simulator::Schedule;
+use wfs_workflow::{TaskId, Workflow};
+
+/// Task-selection rule within the ready set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rule {
+    MaxMin,
+    Sufferage,
+}
+
+/// Run MAX-MIN (unbounded budget).
+pub fn max_min(wf: &Workflow, platform: &Platform) -> Schedule {
+    run(wf, platform, None, Rule::MaxMin)
+}
+
+/// Run the budget-aware MAX-MINBUDG.
+pub fn max_min_budg(wf: &Workflow, platform: &Platform, b_ini: f64) -> Schedule {
+    run(wf, platform, Some(b_ini), Rule::MaxMin)
+}
+
+/// Run SUFFERAGE (unbounded budget).
+pub fn sufferage(wf: &Workflow, platform: &Platform) -> Schedule {
+    run(wf, platform, None, Rule::Sufferage)
+}
+
+/// Run the budget-aware SUFFERAGEBUDG.
+pub fn sufferage_budg(wf: &Workflow, platform: &Platform, b_ini: f64) -> Schedule {
+    run(wf, platform, Some(b_ini), Rule::Sufferage)
+}
+
+fn run(wf: &Workflow, platform: &Platform, b_ini: Option<f64>, rule: Rule) -> Schedule {
+    let split = b_ini.map(|b| divide_budget(wf, platform, b));
+    let mut pot = Pot::new();
+    let mut plan = PlanState::new(wf, platform);
+
+    let n = wf.task_count();
+    let mut missing: Vec<usize> = wf.task_ids().map(|t| wf.in_edges(t).len()).collect();
+    let mut ready: Vec<TaskId> = wf.task_ids().filter(|&t| missing[t.index()] == 0).collect();
+    let mut scheduled = vec![false; n];
+
+    while !ready.is_empty() {
+        let mut best: Option<(usize, HostEval, f64)> = None; // (idx, eval, score)
+        for (i, &t) in ready.iter().enumerate() {
+            let limit = match &split {
+                Some(s) => s.share(t) + pot.available(),
+                None => f64::INFINITY,
+            };
+            let eval = get_best_host(&plan, t, limit);
+            let score = match rule {
+                Rule::MaxMin => eval.eft,
+                Rule::Sufferage => {
+                    // Sufferage = second-best EFT − best EFT among the
+                    // affordable candidates (∞ limit for the baseline).
+                    let mut efts: Vec<f64> = plan
+                        .evaluate_all(t)
+                        .into_iter()
+                        .filter(|e| e.cost <= limit + 1e-9)
+                        .map(|e| e.eft)
+                        .collect();
+                    if efts.is_empty() {
+                        0.0
+                    } else {
+                        efts.sort_by(f64::total_cmp);
+                        if efts.len() > 1 { efts[1] - efts[0] } else { f64::INFINITY }
+                    }
+                }
+            };
+            // Maximize the score; tie-break on smaller EFT, then id.
+            let better = match &best {
+                None => true,
+                Some((bi, be, bs)) => {
+                    score > *bs
+                        || (score == *bs && (eval.eft, t.0) < (be.eft, ready[*bi].0))
+                }
+            };
+            if better {
+                best = Some((i, eval, score));
+            }
+        }
+        let (idx, eval, _) = best.expect("ready set is non-empty");
+        let t = ready.swap_remove(idx);
+        plan.commit(t, eval.candidate);
+        scheduled[t.index()] = true;
+        if let Some(s) = &split {
+            pot.settle(s.share(t), eval.cost);
+        }
+        for succ in wf.successors(t) {
+            missing[succ.index()] -= 1;
+            if missing[succ.index()] == 0 {
+                ready.push(succ);
+            }
+        }
+    }
+    debug_assert!(plan.is_complete());
+    plan.into_schedule()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfs_simulator::{simulate, SimConfig};
+    use wfs_workflow::gen::{bag_of_tasks, cybershake, montage, GenConfig};
+
+    fn paper() -> Platform {
+        Platform::paper_default()
+    }
+
+    #[test]
+    fn all_variants_produce_valid_schedules() {
+        let wf = montage(GenConfig::new(30, 1));
+        let p = paper();
+        for s in [
+            max_min(&wf, &p),
+            max_min_budg(&wf, &p, 1.0),
+            sufferage(&wf, &p),
+            sufferage_budg(&wf, &p, 1.0),
+        ] {
+            s.validate(&wf).unwrap();
+        }
+    }
+
+    #[test]
+    fn budget_variants_hold_planned_cost() {
+        let wf = cybershake(GenConfig::new(60, 1));
+        let p = paper();
+        let floor = simulate(
+            &wf,
+            &p,
+            &crate::min_cost_schedule(&wf, &p),
+            &SimConfig::planning(),
+        )
+        .unwrap()
+        .total_cost;
+        for mult in [1.2, 2.0] {
+            let budget = floor * mult;
+            for s in [max_min_budg(&wf, &p, budget), sufferage_budg(&wf, &p, budget)] {
+                let r = simulate(&wf, &p, &s, &SimConfig::planning()).unwrap();
+                assert!(
+                    r.total_cost <= budget * 1.1,
+                    "cost {} for budget {budget}",
+                    r.total_cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_min_prefers_big_tasks_first() {
+        // A bag with one huge and several small tasks: MAX-MIN schedules
+        // the huge one first (earliest start), MIN-MIN last.
+        use wfs_workflow::{StochasticWeight, WorkflowBuilder};
+        let mut b = WorkflowBuilder::new("mix");
+        let big = b.add_task("big", StochasticWeight::fixed(10_000.0));
+        for i in 0..4 {
+            b.add_task(format!("small{i}"), StochasticWeight::fixed(100.0));
+        }
+        let wf = b.build().unwrap();
+        let p = paper();
+        let s_max = max_min(&wf, &p);
+        let s_min = crate::min_min(&wf, &p);
+        let cfg = SimConfig::planning();
+        let r_max = simulate(&wf, &p, &s_max, &cfg).unwrap();
+        let r_min = simulate(&wf, &p, &s_min, &cfg).unwrap();
+        assert!(
+            r_max.task(big).start <= r_min.task(big).start,
+            "MAX-MIN should not start the big task later than MIN-MIN"
+        );
+    }
+
+    #[test]
+    fn sufferage_handles_bags() {
+        let wf = bag_of_tasks(10, 500.0, 0.0);
+        let p = paper();
+        let s = sufferage(&wf, &p);
+        s.validate(&wf).unwrap();
+        assert!(s.used_vm_count() >= 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let wf = montage(GenConfig::new(60, 2));
+        let p = paper();
+        assert_eq!(max_min_budg(&wf, &p, 2.0), max_min_budg(&wf, &p, 2.0));
+        assert_eq!(sufferage_budg(&wf, &p, 2.0), sufferage_budg(&wf, &p, 2.0));
+    }
+}

@@ -1,0 +1,159 @@
+//! MIN-MIN and its budget-aware extension MIN-MINBUDG (paper Algorithm 3).
+//!
+//! MIN-MIN repeatedly looks at all *ready* tasks (predecessors scheduled),
+//! computes each task's best host, and commits the (task, host) pair with
+//! the overall smallest EFT. MIN-MINBUDG runs the same loop but restricts
+//! each task's host choice to those respecting its budget share plus the
+//! accumulated pot.
+
+use crate::best_host::get_best_host;
+use crate::budget::{divide_budget, Pot};
+use crate::plan::PlanState;
+use wfs_platform::Platform;
+use wfs_simulator::Schedule;
+use wfs_workflow::{TaskId, Workflow};
+
+/// Run MIN-MIN (unbounded budget) — the baseline of §V-B.
+pub fn min_min(wf: &Workflow, platform: &Platform) -> Schedule {
+    min_min_inner(wf, platform, None, Pot::new())
+}
+
+/// Run MIN-MINBUDG with initial budget `b_ini` (Algorithm 3).
+pub fn min_min_budg(wf: &Workflow, platform: &Platform, b_ini: f64) -> Schedule {
+    min_min_budg_with_pot(wf, platform, b_ini, Pot::new())
+}
+
+/// MIN-MINBUDG with an explicit pot configuration (ablation hook).
+pub fn min_min_budg_with_pot(
+    wf: &Workflow,
+    platform: &Platform,
+    b_ini: f64,
+    pot: Pot,
+) -> Schedule {
+    min_min_inner(wf, platform, Some(b_ini), pot)
+}
+
+fn min_min_inner(wf: &Workflow, platform: &Platform, b_ini: Option<f64>, mut pot: Pot) -> Schedule {
+    let split = b_ini.map(|b| divide_budget(wf, platform, b));
+    let mut plan = PlanState::new(wf, platform);
+
+    // Ready set maintained with remaining-predecessor counts.
+    let n = wf.task_count();
+    let mut missing: Vec<usize> = wf.task_ids().map(|t| wf.in_edges(t).len()).collect();
+    let mut ready: Vec<TaskId> = wf.task_ids().filter(|&t| missing[t.index()] == 0).collect();
+    let mut scheduled = vec![false; n];
+
+    while !ready.is_empty() {
+        // MIN-MIN selection: the ready task whose best host yields the
+        // minimal EFT over all ready tasks.
+        let mut best: Option<(usize, crate::plan::HostEval)> = None;
+        for (i, &t) in ready.iter().enumerate() {
+            let limit = match &split {
+                Some(s) => s.share(t) + pot.available(),
+                None => f64::INFINITY,
+            };
+            let eval = get_best_host(&plan, t, limit);
+            let better = match &best {
+                None => true,
+                Some((_, b)) => {
+                    (eval.eft, eval.cost, t.0) < (b.eft, b.cost, ready[best.as_ref().unwrap().0].0)
+                }
+            };
+            if better {
+                best = Some((i, eval));
+            }
+        }
+        let (idx, eval) = best.expect("ready set is non-empty");
+        let t = ready.swap_remove(idx);
+        plan.commit(t, eval.candidate);
+        scheduled[t.index()] = true;
+        if let Some(s) = &split {
+            pot.settle(s.share(t), eval.cost);
+        }
+        for succ in wf.successors(t) {
+            missing[succ.index()] -= 1;
+            if missing[succ.index()] == 0 {
+                ready.push(succ);
+            }
+        }
+    }
+    debug_assert!(plan.is_complete(), "all tasks scheduled (DAG is acyclic)");
+    plan.into_schedule()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfs_simulator::{simulate, SimConfig};
+    use wfs_workflow::gen::{bag_of_tasks, montage, GenConfig};
+
+    fn paper() -> Platform {
+        Platform::paper_default()
+    }
+
+    #[test]
+    fn baseline_schedules_everything() {
+        let wf = montage(GenConfig::new(30, 1));
+        let p = paper();
+        let s = min_min(&wf, &p);
+        s.validate(&wf).unwrap();
+        assert!(s.used_vm_count() >= 1);
+    }
+
+    #[test]
+    fn baseline_parallelizes_a_bag() {
+        let wf = bag_of_tasks(8, 2000.0, 0.0);
+        let p = paper();
+        let s = min_min(&wf, &p);
+        // EFT-greedy with free budget: every independent task gets its own
+        // (fast) VM since sharing delays the EFT.
+        assert!(s.used_vm_count() >= 7, "used {}", s.used_vm_count());
+    }
+
+    #[test]
+    fn budget_constrains_vm_enrollment() {
+        let wf = montage(GenConfig::new(60, 1));
+        let p = paper();
+        let rich = min_min_budg(&wf, &p, 1000.0);
+        let poor = min_min_budg(&wf, &p, 0.2);
+        rich.validate(&wf).unwrap();
+        poor.validate(&wf).unwrap();
+        assert!(poor.used_vm_count() <= rich.used_vm_count());
+    }
+
+    #[test]
+    fn infinite_budget_matches_baseline_makespan() {
+        // Paper §V-B: "when given an infinite initial budget, MIN-MIN
+        // gives the same schedule as MIN-MINBUDG".
+        let wf = montage(GenConfig::new(30, 2));
+        let p = paper();
+        let base = min_min(&wf, &p);
+        let budg = min_min_budg(&wf, &p, 1e9);
+        let cfg = SimConfig::planning();
+        let rb = simulate(&wf, &p, &base, &cfg).unwrap();
+        let rr = simulate(&wf, &p, &budg, &cfg).unwrap();
+        assert!((rb.makespan - rr.makespan).abs() < 1e-6);
+    }
+
+    #[test]
+    fn respects_budget_on_average() {
+        let wf = montage(GenConfig::new(30, 1));
+        let p = paper();
+        let budget = 1.0;
+        let s = min_min_budg(&wf, &p, budget);
+        // Conservative planning: the planned execution fits the budget.
+        let r = simulate(&wf, &p, &s, &SimConfig::planning()).unwrap();
+        assert!(
+            r.total_cost <= budget * 1.05,
+            "planned cost {} for budget {budget}",
+            r.total_cost
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let wf = montage(GenConfig::new(60, 3));
+        let p = paper();
+        assert_eq!(min_min_budg(&wf, &p, 5.0), min_min_budg(&wf, &p, 5.0));
+    }
+}

@@ -1,0 +1,341 @@
+//! Incremental planning state shared by all list-scheduling algorithms.
+//!
+//! While building a schedule task by task, an algorithm needs to evaluate,
+//! for the current task and every candidate host, the Earliest Finish Time
+//! (EFT, paper Eq. 7) and the cost `ct_{T,host}` the assignment would incur.
+//! [`PlanState`] tracks the planning-time view: per-VM availability, the
+//! instant each produced datum reaches the datacenter, and the partially
+//! built [`Schedule`].
+//!
+//! The planning model deliberately mirrors the paper's estimates rather than
+//! the full event simulation: transfers of a task's inputs are serialized on
+//! the host link (`size(d_in,T)/bw` summed), upload queuing on producers is
+//! ignored, and weights are conservative (`w̄ + σ`). The actual execution is
+//! replayed afterwards by `wfs-simulator`.
+
+use wfs_platform::{CategoryId, Platform};
+use wfs_simulator::{Schedule, VmId};
+use wfs_workflow::{TaskId, Workflow};
+
+/// A candidate host for the task being scheduled: an already-enrolled VM or
+/// a fresh VM of some category (the paper's `Used_VM ∪ New_VM`, §IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Candidate {
+    /// An already used VM.
+    Used(VmId),
+    /// A new VM of the given category (its startup delay and init cost
+    /// apply, `δ_new = 1` in Eq. 7).
+    New(CategoryId),
+}
+
+/// Planning-time evaluation of one (task, candidate) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostEval {
+    /// The candidate evaluated.
+    pub candidate: Candidate,
+    /// Earliest Finish Time (seconds).
+    pub eft: f64,
+    /// Instant the host starts working for the task (transfers included,
+    /// boot included for new VMs).
+    pub begin: f64,
+    /// Estimated cost `ct_{T,host}`: occupied time × hourly rate, plus the
+    /// init cost for a new VM.
+    pub cost: f64,
+}
+
+/// Incremental planning state over a partially built schedule.
+#[derive(Debug, Clone)]
+pub struct PlanState<'a> {
+    wf: &'a Workflow,
+    platform: &'a Platform,
+    /// Conservative execution weights (`w̄ + σ`), per task.
+    weights: Vec<f64>,
+    /// Planned availability instant of each enrolled VM.
+    vm_ready: Vec<f64>,
+    /// Planned finish time of each scheduled task (`NAN` = unscheduled).
+    finish: Vec<f64>,
+    /// Planned instant each edge's data reaches the datacenter
+    /// (`INFINITY` until the producer is scheduled).
+    edge_at_dc: Vec<f64>,
+    schedule: Schedule,
+}
+
+impl<'a> PlanState<'a> {
+    /// Fresh planning state with no task scheduled.
+    pub fn new(wf: &'a Workflow, platform: &'a Platform) -> Self {
+        Self {
+            wf,
+            platform,
+            weights: wf.tasks().iter().map(|t| t.weight.conservative()).collect(),
+            vm_ready: Vec::new(),
+            finish: vec![f64::NAN; wf.task_count()],
+            edge_at_dc: vec![f64::INFINITY; wf.edge_count()],
+            schedule: Schedule::new(wf.task_count()),
+        }
+    }
+
+    /// The workflow being planned.
+    #[inline]
+    pub fn workflow(&self) -> &'a Workflow {
+        self.wf
+    }
+
+    /// The target platform.
+    #[inline]
+    pub fn platform(&self) -> &'a Platform {
+        self.platform
+    }
+
+    /// The partially built schedule.
+    #[inline]
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Planned finish time of `t` (`NaN` if unscheduled).
+    #[inline]
+    pub fn finish_time(&self, t: TaskId) -> f64 {
+        self.finish[t.index()]
+    }
+
+    /// True once every task has been assigned.
+    pub fn is_complete(&self) -> bool {
+        self.finish.iter().all(|f| !f.is_nan())
+    }
+
+    /// All candidate hosts for the next assignment: every used VM plus one
+    /// fresh VM per category (paper §IV-A).
+    pub fn candidates(&self) -> Vec<Candidate> {
+        let mut out: Vec<Candidate> =
+            self.schedule.vm_ids().map(Candidate::Used).collect();
+        out.extend(self.platform.category_ids().map(Candidate::New));
+        out
+    }
+
+    /// Earliest instant all of `t`'s remote inputs can be at the datacenter
+    /// (0 for entry data; assumes every scheduled predecessor uploads).
+    ///
+    /// # Panics
+    /// If a predecessor of `t` is unscheduled (list schedulers always
+    /// schedule predecessors first).
+    fn data_ready_at_dc(&self, t: TaskId, on: Option<VmId>) -> f64 {
+        let mut ready: f64 = 0.0;
+        for &e in self.wf.in_edges(t) {
+            let edge = self.wf.edge(e);
+            let pred_vm = self
+                .schedule
+                .assignment(edge.from)
+                .expect("predecessors are scheduled before their consumers");
+            if Some(pred_vm) == on {
+                // Local data: available when the producer finishes; the
+                // host availability already covers it (producer runs
+                // earlier on the same VM).
+                continue;
+            }
+            ready = ready.max(self.edge_at_dc[e.index()]);
+        }
+        ready
+    }
+
+    /// Bytes `size(d_in,T)` that must be pulled from the datacenter if `t`
+    /// runs on `on` (`None` = a new VM): cross-VM edges + external input.
+    pub fn input_bytes(&self, t: TaskId, on: Option<VmId>) -> f64 {
+        let mut bytes = self.wf.task(t).external_input;
+        for &e in self.wf.in_edges(t) {
+            let edge = self.wf.edge(e);
+            let pred_vm = self.schedule.assignment(edge.from);
+            if pred_vm != on || on.is_none() {
+                bytes += edge.size;
+            }
+        }
+        bytes
+    }
+
+    /// Evaluate `t` on `candidate`: EFT per Eq. 7 and cost `ct_{T,host}`.
+    pub fn evaluate(&self, t: TaskId, candidate: Candidate) -> HostEval {
+        let bw = self.platform.datacenter.bandwidth;
+        let w = self.weights[t.index()];
+        match candidate {
+            Candidate::Used(vm) => {
+                let cat = self.platform.category(self.schedule.vm_category(vm));
+                let d_in = self.input_bytes(t, Some(vm));
+                let data_ready = self.data_ready_at_dc(t, Some(vm));
+                let begin = self.vm_ready[vm.index()].max(data_ready);
+                // The idle gap this assignment creates on the VM is billed
+                // too — the machine stays rented while waiting for the
+                // task's inputs. Without this term, packing late tasks
+                // onto early VMs looks free and the planned cost can
+                // undershoot the real bill badly on hub-join topologies.
+                let gap = begin - self.vm_ready[vm.index()];
+                let occupied = d_in / bw + w / cat.speed;
+                HostEval {
+                    candidate,
+                    eft: begin + occupied,
+                    begin,
+                    cost: (gap + occupied) * cat.cost_per_second(),
+                }
+            }
+            Candidate::New(cat_id) => {
+                let cat = self.platform.category(cat_id);
+                let d_in = self.input_bytes(t, None);
+                let begin = self.data_ready_at_dc(t, None);
+                let occupied = d_in / bw + w / cat.speed;
+                HostEval {
+                    candidate,
+                    eft: begin + cat.boot_time + occupied,
+                    begin,
+                    cost: occupied * cat.cost_per_second() + cat.init_cost,
+                }
+            }
+        }
+    }
+
+    /// Evaluate `t` on every candidate.
+    pub fn evaluate_all(&self, t: TaskId) -> Vec<HostEval> {
+        self.candidates().into_iter().map(|c| self.evaluate(t, c)).collect()
+    }
+
+    /// Commit the assignment of `t` to `candidate`, updating VM
+    /// availability and data-at-datacenter times. Returns the concrete VM.
+    pub fn commit(&mut self, t: TaskId, candidate: Candidate) -> VmId {
+        let eval = self.evaluate(t, candidate);
+        let vm = match candidate {
+            Candidate::Used(vm) => vm,
+            Candidate::New(cat) => {
+                let vm = self.schedule.add_vm(cat);
+                self.vm_ready.push(0.0);
+                vm
+            }
+        };
+        self.schedule.assign(t, vm);
+        self.vm_ready[vm.index()] = eval.eft;
+        self.finish[t.index()] = eval.eft;
+        let bw = self.platform.datacenter.bandwidth;
+        // Conservative: assume every output is uploaded (some will stay
+        // local; the paper makes the same over-estimation, §IV-A).
+        for &e in self.wf.out_edges(t) {
+            self.edge_at_dc[e.index()] = eval.eft + self.wf.edge(e).size / bw;
+        }
+        vm
+    }
+
+    /// Planned makespan so far: the largest committed EFT.
+    pub fn planned_makespan(&self) -> f64 {
+        self.finish.iter().copied().filter(|f| !f.is_nan()).fold(0.0, f64::max)
+    }
+
+    /// Consume the state, returning the built schedule.
+    pub fn into_schedule(self) -> Schedule {
+        self.schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfs_platform::{BillingPolicy, Datacenter, VmCategory};
+    use wfs_workflow::gen::{chain, fork_join};
+
+    /// One category: speed 1, $0.01/s, init $0.5, boot 10 s; bw 10 B/s.
+    fn p1() -> Platform {
+        Platform::new(
+            vec![VmCategory::new("u", 1.0, 36.0, 0.5, 10.0)],
+            Datacenter::new(10.0, 0.0, 0.0),
+        )
+        .with_billing(BillingPolicy::Continuous)
+    }
+
+    #[test]
+    fn candidates_grow_with_used_vms() {
+        let wf = chain(2, 100.0, 50.0);
+        let p = p1();
+        let mut plan = PlanState::new(&wf, &p);
+        assert_eq!(plan.candidates().len(), 1); // one new per category
+        plan.commit(TaskId(0), Candidate::New(CategoryId(0)));
+        assert_eq!(plan.candidates().len(), 2); // one used + one new
+    }
+
+    #[test]
+    fn new_vm_eval_matches_eq7() {
+        let wf = chain(2, 100.0, 50.0);
+        let p = p1();
+        let plan = PlanState::new(&wf, &p);
+        let e = plan.evaluate(TaskId(0), Candidate::New(CategoryId(0)));
+        // data ready 0 (external at DC), boot 10, dl 50/10=5, exec 100.
+        assert!((e.eft - 115.0).abs() < 1e-9, "eft {}", e.eft);
+        // cost = (5 + 100) * 0.01 + 0.5 init.
+        assert!((e.cost - 1.55).abs() < 1e-9, "cost {}", e.cost);
+    }
+
+    #[test]
+    fn used_vm_avoids_local_transfer() {
+        let wf = chain(2, 100.0, 50.0);
+        let p = p1();
+        let mut plan = PlanState::new(&wf, &p);
+        let vm = plan.commit(TaskId(0), Candidate::New(CategoryId(0)));
+        let used = plan.evaluate(TaskId(1), Candidate::Used(vm));
+        // Same VM: no transfer of the edge, begin = vm ready (115).
+        assert!((used.begin - 115.0).abs() < 1e-9);
+        assert!((used.eft - 215.0).abs() < 1e-9, "eft {}", used.eft);
+        assert!((used.cost - 1.00).abs() < 1e-9, "cost {}", used.cost);
+
+        let fresh = plan.evaluate(TaskId(1), Candidate::New(CategoryId(0)));
+        // Data at DC at 115 + 5 = 120; boot 10; dl 5; exec 100 => 235.
+        assert!((fresh.begin - 120.0).abs() < 1e-9, "begin {}", fresh.begin);
+        assert!((fresh.eft - 235.0).abs() < 1e-9, "eft {}", fresh.eft);
+        // Transfer back adds to the cost too: (5 + 100) * 0.01 + 0.5.
+        assert!((fresh.cost - 1.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fork_join_parallelism_visible_in_plan() {
+        let wf = fork_join(2, 100.0, 0.0);
+        let p = p1();
+        let mut plan = PlanState::new(&wf, &p);
+        let v0 = plan.commit(TaskId(0), Candidate::New(CategoryId(0)));
+        // Branch 1 on the same VM, branch 2 on a fresh VM: both finish
+        // before a sequential plan would.
+        plan.commit(TaskId(1), Candidate::Used(v0));
+        plan.commit(TaskId(2), Candidate::New(CategoryId(0)));
+        let f1 = plan.finish_time(TaskId(1));
+        let f2 = plan.finish_time(TaskId(2));
+        // v0: boot 10 + 100 + 100 = 210. fresh: data at 110, boot, exec.
+        assert!((f1 - 210.0).abs() < 1e-9);
+        assert!((f2 - 220.0).abs() < 1e-9, "f2 {f2}");
+        assert!(!plan.is_complete());
+        plan.commit(TaskId(3), Candidate::Used(v0));
+        assert!(plan.is_complete());
+        // Sink on v0 needs branch-2 data from DC: ready at max(210, 220+0)
+        // = 220, no bytes (edge size 0) => eft 320.
+        assert!((plan.finish_time(TaskId(3)) - 320.0).abs() < 1e-9);
+        assert!((plan.planned_makespan() - 320.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conservative_weights_used_in_plan() {
+        let wf = chain(1, 100.0, 0.0).with_sigma_ratio(0.5);
+        let p = p1();
+        let plan = PlanState::new(&wf, &p);
+        let e = plan.evaluate(TaskId(0), Candidate::New(CategoryId(0)));
+        // weight 150 conservative + boot 10.
+        assert!((e.eft - 160.0).abs() < 1e-9, "eft {}", e.eft);
+    }
+
+    #[test]
+    fn committed_schedule_is_valid() {
+        let wf = fork_join(3, 50.0, 10.0);
+        let p = p1();
+        let mut plan = PlanState::new(&wf, &p);
+        for &t in wf.topological_order() {
+            let evals = plan.evaluate_all(t);
+            let best = evals
+                .iter()
+                .min_by(|a, b| a.eft.total_cmp(&b.eft))
+                .unwrap()
+                .candidate;
+            plan.commit(t, best);
+        }
+        let sched = plan.into_schedule();
+        sched.validate(&wf).unwrap();
+    }
+}

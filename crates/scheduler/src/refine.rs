@@ -1,0 +1,259 @@
+//! HEFTBUDG+ and HEFTBUDG+INV (paper Algorithm 5): spend the leftover
+//! budget by re-mapping tasks onto better hosts.
+//!
+//! Starting from the HEFTBUDG schedule, each task (in priority order for
+//! HEFTBUDG+, reverse order for HEFTBUDG+INV) is tentatively moved to every
+//! other used VM and to a fresh VM of each category; each tentative schedule
+//! is fully re-evaluated with a deterministic conservative simulation, and
+//! the move with the shortest makespan that still respects the budget is
+//! kept. This is an order of magnitude more CPU-demanding than HEFTBUDG
+//! (§IV-B) — the trade-off the paper quantifies in Table III.
+
+use crate::heft::heft_budg;
+use wfs_platform::Platform;
+use wfs_simulator::{simulate, Schedule, SimConfig};
+use wfs_workflow::{TaskId, Workflow};
+
+/// Processing order of the refinement pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefineOrder {
+    /// Task order of `ListT` (HEFTBUDG+): highest HEFT priority first.
+    Forward,
+    /// Reverse order (HEFTBUDG+INV).
+    Reverse,
+}
+
+/// Makespan must improve by more than this to accept a move (seconds).
+const IMPROVE_EPS: f64 = 1e-9;
+
+/// Run HEFTBUDG followed by the re-mapping refinement.
+pub fn heft_budg_plus(
+    wf: &Workflow,
+    platform: &Platform,
+    b_ini: f64,
+    order: RefineOrder,
+) -> Schedule {
+    let (sched, list) = heft_budg(wf, platform, b_ini);
+    refine_schedule(wf, platform, b_ini, sched, &list, order)
+}
+
+/// MIN-MINBUDG followed by the same refinement pass — the variant the
+/// paper points out "could be designed for MIN-MINBUDG" (§V-B closing
+/// remark) but does not evaluate. The HEFT priority list orders the
+/// re-examination and keeps per-VM orders executable.
+pub fn min_min_budg_plus(
+    wf: &Workflow,
+    platform: &Platform,
+    b_ini: f64,
+    order: RefineOrder,
+) -> Schedule {
+    let sched = crate::min_min_budg(wf, platform, b_ini);
+    let list = crate::priority_list(wf, platform);
+    // MIN-MIN's per-VM orders follow its own commit sequence, which is a
+    // valid linear extension but not necessarily rank-sorted; normalize to
+    // rank order first so single-task moves stay executable.
+    let mut pos = vec![0usize; wf.task_count()];
+    for (i, &t) in list.iter().enumerate() {
+        pos[t.index()] = i;
+    }
+    let mut sched = sched;
+    sched.sort_orders_by(|x| pos[x.index()]);
+    refine_schedule(wf, platform, b_ini, sched, &list, order)
+}
+
+/// The refinement pass alone, applicable to any valid schedule plus its
+/// priority list (exposed for tests and ablations).
+pub fn refine_schedule(
+    wf: &Workflow,
+    platform: &Platform,
+    b_ini: f64,
+    mut sched: Schedule,
+    list: &[TaskId],
+    order: RefineOrder,
+) -> Schedule {
+    let cfg = SimConfig::planning();
+    // Rank position of each task: per-VM orders stay sorted by it, so any
+    // single-task move keeps the schedule executable (rank order is a
+    // linear extension of the DAG).
+    let mut pos = vec![0usize; wf.task_count()];
+    for (i, &t) in list.iter().enumerate() {
+        pos[t.index()] = i;
+    }
+    let mut best_time = simulate(wf, platform, &sched, &cfg)
+        .expect("HEFTBUDG emits a valid schedule")
+        .makespan;
+
+    let tasks: Vec<TaskId> = match order {
+        RefineOrder::Forward => list.to_vec(),
+        RefineOrder::Reverse => list.iter().rev().copied().collect(),
+    };
+    for &t in &tasks {
+        let cur_vm = sched.assignment(t).expect("complete schedule");
+        let mut best_alt: Option<(Schedule, f64)> = None;
+        // Every other used VM...
+        let alt_vms: Vec<_> = sched.vm_ids().filter(|&v| v != cur_vm).collect();
+        for vm in alt_vms {
+            let mut trial = sched.clone();
+            trial.reassign(t, vm);
+            trial.sort_orders_by(|x| pos[x.index()]);
+            consider(wf, platform, b_ini, &cfg, trial, best_time, &mut best_alt);
+        }
+        // ...and a fresh VM of each category.
+        for cat in platform.category_ids() {
+            let mut trial = sched.clone();
+            let vm = trial.add_vm(cat);
+            trial.reassign(t, vm);
+            trial.sort_orders_by(|x| pos[x.index()]);
+            consider(wf, platform, b_ini, &cfg, trial, best_time, &mut best_alt);
+        }
+        if let Some((s, time)) = best_alt {
+            sched = s;
+            best_time = time;
+        }
+    }
+    sched.prune_empty_vms();
+    sched
+}
+
+/// Evaluate a tentative schedule; record it if it beats the incumbent and
+/// respects the budget (Alg. 5 line 10).
+fn consider(
+    wf: &Workflow,
+    platform: &Platform,
+    b_ini: f64,
+    cfg: &SimConfig,
+    trial: Schedule,
+    incumbent_time: f64,
+    best_alt: &mut Option<(Schedule, f64)>,
+) {
+    let Ok(report) = simulate(wf, platform, &trial, cfg) else {
+        return; // defensive: skip non-executable tentatives
+    };
+    if report.total_cost > b_ini {
+        return;
+    }
+    let current_best = best_alt.as_ref().map_or(incumbent_time, |(_, t)| *t);
+    if report.makespan < current_best - IMPROVE_EPS {
+        *best_alt = Some((trial, report.makespan));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfs_simulator::SimConfig;
+    use wfs_workflow::gen::{cybershake, montage, GenConfig};
+
+    fn paper() -> Platform {
+        Platform::paper_default()
+    }
+
+    fn planned(wf: &Workflow, p: &Platform, s: &Schedule) -> (f64, f64) {
+        let r = simulate(wf, p, s, &SimConfig::planning()).unwrap();
+        (r.makespan, r.total_cost)
+    }
+
+    #[test]
+    fn refined_never_worse_and_within_budget() {
+        let wf = montage(GenConfig::new(30, 1));
+        let p = paper();
+        for budget in [1.0, 2.0, 4.0] {
+            let (base, _) = heft_budg(&wf, &p, budget);
+            let (t0, _) = planned(&wf, &p, &base);
+            for order in [RefineOrder::Forward, RefineOrder::Reverse] {
+                let refined = heft_budg_plus(&wf, &p, budget, order);
+                refined.validate(&wf).unwrap();
+                let (t1, c1) = planned(&wf, &p, &refined);
+                assert!(t1 <= t0 + 1e-6, "refined {t1} worse than base {t0} ({order:?})");
+                assert!(c1 <= budget * 1.0 + 1e-9, "cost {c1} busts budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_improves_tight_budgets() {
+        // Paper Fig. 2: refinement shortens the makespan (up to one third
+        // for MONTAGE) at intermediate budgets. Improvement is not
+        // guaranteed on every single instance, so assert it shows up
+        // across a small sweep.
+        let p = paper();
+        let mut improved = 0;
+        let mut cases = 0;
+        for seed in 1..=2 {
+            let wf = montage(GenConfig::new(30, seed));
+            let floor = simulate(
+                &wf,
+                &p,
+                &crate::min_cost_schedule(&wf, &p),
+                &SimConfig::planning(),
+            )
+            .unwrap()
+            .total_cost;
+            for mult in [1.3, 1.8, 2.5] {
+                let budget = floor * mult;
+                let (base, _) = heft_budg(&wf, &p, budget);
+                let (t0, _) = planned(&wf, &p, &base);
+                let refined = heft_budg_plus(&wf, &p, budget, RefineOrder::Forward);
+                let (t1, _) = planned(&wf, &p, &refined);
+                cases += 1;
+                if t1 < t0 - 1e-6 {
+                    improved += 1;
+                }
+            }
+        }
+        assert!(improved * 2 >= cases, "improved only {improved}/{cases} cases");
+    }
+
+    #[test]
+    fn refined_uses_no_more_vms_than_base_on_cybershake() {
+        // Paper §V-C: "the refined algorithms manage to achieve a smaller
+        // makespan using fewer VMs" (interdependent tasks co-located).
+        let wf = cybershake(GenConfig::new(30, 1));
+        let p = paper();
+        let budget = 3.0;
+        let (base, _) = heft_budg(&wf, &p, budget);
+        let refined = heft_budg_plus(&wf, &p, budget, RefineOrder::Forward);
+        assert!(
+            refined.used_vm_count() <= base.used_vm_count(),
+            "refined {} vs base {}",
+            refined.used_vm_count(),
+            base.used_vm_count()
+        );
+    }
+
+    #[test]
+    fn min_min_budg_plus_never_worse_and_within_budget() {
+        let p = paper();
+        for seed in 1..=2 {
+            let wf = montage(GenConfig::new(30, seed));
+            let floor = simulate(
+                &wf,
+                &p,
+                &crate::min_cost_schedule(&wf, &p),
+                &SimConfig::planning(),
+            )
+            .unwrap()
+            .total_cost;
+            let budget = floor * 1.5;
+            let base = crate::min_min_budg(&wf, &p, budget);
+            let (t0, _) = planned(&wf, &p, &base);
+            let refined = min_min_budg_plus(&wf, &p, budget, RefineOrder::Forward);
+            refined.validate(&wf).unwrap();
+            let (t1, c1) = planned(&wf, &p, &refined);
+            assert!(t1 <= t0 + 1e-6, "refined {t1} worse than base {t0}");
+            assert!(c1 <= budget + 1e-9, "cost {c1} busts budget {budget}");
+        }
+    }
+
+    #[test]
+    fn forward_and_reverse_both_valid_and_deterministic() {
+        let wf = montage(GenConfig::new(30, 3));
+        let p = paper();
+        for order in [RefineOrder::Forward, RefineOrder::Reverse] {
+            let a = heft_budg_plus(&wf, &p, 2.0, order);
+            let b = heft_budg_plus(&wf, &p, 2.0, order);
+            assert_eq!(a, b);
+            a.validate(&wf).unwrap();
+        }
+    }
+}

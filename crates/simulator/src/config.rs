@@ -1,0 +1,77 @@
+//! Simulation configuration.
+
+use crate::weights::WeightModel;
+
+/// Aggregate datacenter transfer capacity.
+///
+/// The paper assumes "the datacenter bandwidth is large enough to feed all
+/// processing units" (§III-B) — [`DcCapacity::Infinite`]. It then observes
+/// (§V-B) that this assumption is what let a few LIGO runs exceed their
+/// budget on a real network; [`DcCapacity::Finite`] models the saturation by
+/// fair-sharing an aggregate capacity among all in-flight transfers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DcCapacity {
+    /// Every transfer gets the full VM link bandwidth.
+    Infinite,
+    /// In-flight transfers share this many bytes/s, each still capped by
+    /// the VM link bandwidth.
+    Finite(f64),
+}
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// How task weights are realized.
+    pub weights: WeightModel,
+    /// Datacenter aggregate capacity.
+    pub dc_capacity: DcCapacity,
+}
+
+impl SimConfig {
+    /// The paper's model: chosen weight realization, infinite DC capacity.
+    pub fn new(weights: WeightModel) -> Self {
+        Self { weights, dc_capacity: DcCapacity::Infinite }
+    }
+
+    /// Deterministic planning evaluation with conservative weights — what
+    /// HEFTBUDG+'s inner `simulate()` uses (paper Alg. 5).
+    pub fn planning() -> Self {
+        Self::new(WeightModel::Conservative)
+    }
+
+    /// Stochastic run with the given seed.
+    pub fn stochastic(seed: u64) -> Self {
+        Self::new(WeightModel::Stochastic { seed })
+    }
+
+    /// Limit the datacenter aggregate capacity.
+    pub fn with_dc_capacity(mut self, bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "capacity must be positive");
+        self.dc_capacity = DcCapacity::Finite(bytes_per_sec);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planning_is_conservative_infinite() {
+        let c = SimConfig::planning();
+        assert_eq!(c.weights, WeightModel::Conservative);
+        assert_eq!(c.dc_capacity, DcCapacity::Infinite);
+    }
+
+    #[test]
+    fn with_dc_capacity_sets_finite() {
+        let c = SimConfig::stochastic(1).with_dc_capacity(1e6);
+        assert_eq!(c.dc_capacity, DcCapacity::Finite(1e6));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        SimConfig::planning().with_dc_capacity(0.0);
+    }
+}

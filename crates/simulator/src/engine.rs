@@ -1,0 +1,584 @@
+//! The discrete-event simulation engine.
+//!
+//! Executes a [`Schedule`] under the paper's platform model (§III):
+//!
+//! - VMs are booked on demand: a VM starts booting as soon as the remote
+//!   inputs of its *first* task are at the datacenter (entry data is there
+//!   at t = 0); the boot delay is uncharged, usage is charged from boot end
+//!   to the instant the VM's last output byte reaches the datacenter.
+//! - All inter-VM data transits through the datacenter: producers upload
+//!   each cross-VM edge after completing; consumers download it. Each VM's
+//!   link serializes its transfers per direction (this matches Eq. 7, which
+//!   sums input sizes), but transfers never slow computation down
+//!   (transfer/compute overlap, §III-B assumption (iv)).
+//! - Task weights are realized per the configured [`WeightModel`].
+//! - The datacenter capacity is infinite by default; the finite mode
+//!   fair-shares an aggregate capacity among in-flight transfers.
+
+use crate::config::{DcCapacity, SimConfig};
+use crate::report::{SimulationReport, TaskRecord, VmUsage};
+use crate::schedule::{Schedule, ScheduleError, VmId};
+use crate::weights::realize_weights;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use wfs_platform::Platform;
+use wfs_workflow::{EdgeId, TaskId, Workflow};
+
+/// Time comparison tolerance (seconds).
+const T_EPS: f64 = 1e-9;
+/// Bytes below which a transfer is considered drained.
+const B_EPS: f64 = 1e-6;
+
+/// Errors raised by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The schedule failed validation.
+    Schedule(ScheduleError),
+    /// The simulation stalled with unfinished tasks (should be impossible
+    /// for validated schedules; kept as a defensive backstop).
+    Stalled {
+        /// Number of tasks that did complete.
+        completed: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Schedule(e) => write!(f, "invalid schedule: {e}"),
+            SimError::Stalled { completed } => {
+                write!(f, "simulation stalled after {completed} tasks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ScheduleError> for SimError {
+    fn from(e: ScheduleError) -> Self {
+        SimError::Schedule(e)
+    }
+}
+
+/// Discrete events other than transfer completions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    BootDone(usize),
+    TaskDone { vm: usize, task: TaskId },
+}
+
+/// Heap entry ordered by (time, sequence) — sequence keeps pops FIFO-stable
+/// among simultaneous events, making runs bit-reproducible.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Dir {
+    Down,
+    Up,
+}
+
+/// A pending download: data some task on this VM needs from the datacenter.
+#[derive(Debug, Clone, Copy)]
+struct Download {
+    task: TaskId,
+    /// `None` = external input (at the datacenter from t = 0).
+    edge: Option<EdgeId>,
+    bytes: f64,
+    at_dc: bool,
+    started: bool,
+}
+
+/// A pending upload: data a completed task must push to the datacenter.
+#[derive(Debug, Clone, Copy)]
+struct Upload {
+    /// `None` = external output.
+    edge: Option<EdgeId>,
+    bytes: f64,
+}
+
+/// An in-flight transfer on some VM's link.
+#[derive(Debug, Clone, Copy)]
+struct Active {
+    vm: usize,
+    dir: Dir,
+    /// Index into the VM's `downloads` for Down; upload payload for Up.
+    payload: TransferPayload,
+    remaining: f64,
+    rate: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TransferPayload {
+    Download(usize),
+    Upload(Upload),
+}
+
+struct VmState {
+    order: Vec<TaskId>,
+    next_idx: usize,
+    booked_at: Option<f64>,
+    ready: bool,
+    ready_at: f64,
+    proc_busy: bool,
+    in_busy: bool,
+    out_busy: bool,
+    downloads: Vec<Download>,
+    uploads: VecDeque<Upload>,
+    /// Cross-VM input edges of the first task still missing from the
+    /// datacenter — the boot gate.
+    boot_gate: usize,
+    last_activity: f64,
+    tasks_run: usize,
+}
+
+struct Engine<'a> {
+    wf: &'a Workflow,
+    platform: &'a Platform,
+    schedule: &'a Schedule,
+    weights: Vec<f64>,
+    dc_capacity: DcCapacity,
+    now: f64,
+    seq: u64,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    active: Vec<Active>,
+    vms: Vec<VmState>,
+    /// Remaining unsatisfied inputs per task (local preds + downloads).
+    missing: Vec<usize>,
+    done: Vec<bool>,
+    edge_at_dc: Vec<bool>,
+    records: Vec<TaskRecord>,
+    completed: usize,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        wf: &'a Workflow,
+        platform: &'a Platform,
+        schedule: &'a Schedule,
+        config: &SimConfig,
+    ) -> Self {
+        let n = wf.task_count();
+        let weights = realize_weights(wf, config.weights);
+        let mut vms: Vec<VmState> = schedule
+            .vm_ids()
+            .map(|v| VmState {
+                order: schedule.order(v).to_vec(),
+                next_idx: 0,
+                booked_at: None,
+                ready: false,
+                ready_at: 0.0,
+                proc_busy: false,
+                in_busy: false,
+                out_busy: false,
+                downloads: Vec::new(),
+                uploads: VecDeque::new(),
+                boot_gate: 0,
+                last_activity: 0.0,
+                tasks_run: 0,
+            })
+            .collect();
+
+        let mut missing = vec![0usize; n];
+        for t in wf.task_ids() {
+            let vm = schedule.assignment(t).expect("validated").index();
+            for &e in wf.in_edges(t) {
+                missing[t.index()] += 1;
+                if schedule.is_cross_vm(wf, e) {
+                    vms[vm].downloads.push(Download {
+                        task: t,
+                        edge: Some(e),
+                        bytes: wf.edge(e).size,
+                        at_dc: false,
+                        started: false,
+                    });
+                }
+                // Same-VM edges are satisfied directly at producer completion.
+            }
+            let ext = wf.task(t).external_input;
+            if ext > 0.0 {
+                missing[t.index()] += 1;
+                vms[vm].downloads.push(Download {
+                    task: t,
+                    edge: None,
+                    bytes: ext,
+                    at_dc: true,
+                    started: false,
+                });
+            }
+        }
+        // Boot gates: cross-VM input edges of each VM's first task.
+        for (v, vm) in vms.iter_mut().enumerate() {
+            if let Some(&first) = vm.order.first() {
+                vm.boot_gate = wf
+                    .in_edges(first)
+                    .iter()
+                    .filter(|&&e| schedule.is_cross_vm(wf, e))
+                    .count();
+                let _ = v;
+            }
+        }
+
+        Self {
+            wf,
+            platform,
+            schedule,
+            weights,
+            dc_capacity: config.dc_capacity,
+            now: 0.0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            active: Vec::new(),
+            vms,
+            missing,
+            done: vec![false; n],
+            edge_at_dc: vec![false; wf.edge_count()],
+            records: vec![
+                TaskRecord {
+                    task: TaskId(0),
+                    vm: VmId(0),
+                    start: 0.0,
+                    end: 0.0,
+                    realized_weight: 0.0,
+                };
+                n
+            ],
+            completed: 0,
+        }
+    }
+
+    fn push_event(&mut self, time: f64, event: Event) {
+        self.seq += 1;
+        self.heap.push(Reverse(HeapEntry { time, seq: self.seq, event }));
+    }
+
+    fn bandwidth(&self) -> f64 {
+        self.platform.datacenter.bandwidth
+    }
+
+    /// Fair-share rate under the current number of in-flight transfers.
+    fn share_rate(&self, n_active: usize) -> f64 {
+        match self.dc_capacity {
+            DcCapacity::Infinite => self.bandwidth(),
+            DcCapacity::Finite(cap) => self.bandwidth().min(cap / n_active.max(1) as f64),
+        }
+    }
+
+    fn recompute_rates(&mut self) {
+        let r = self.share_rate(self.active.len());
+        for a in &mut self.active {
+            a.rate = r;
+        }
+    }
+
+    fn book_vm(&mut self, v: usize) {
+        debug_assert!(self.vms[v].booked_at.is_none());
+        self.vms[v].booked_at = Some(self.now);
+        let boot = self.platform.category(self.schedule.vm_category(VmId(v as u32))).boot_time;
+        self.push_event(self.now + boot, Event::BootDone(v));
+    }
+
+    /// Start the best ready pending download on `v`, if its in-link is free.
+    fn try_start_download(&mut self, v: usize) {
+        if !self.vms[v].ready || self.vms[v].in_busy {
+            return;
+        }
+        // Position of each task in the VM order: prefer inputs of earlier
+        // tasks so prefetching never starves the next task to run.
+        let pos_of = |vm: &VmState, t: TaskId| {
+            vm.order.iter().position(|&x| x == t).expect("task is on this VM")
+        };
+        let best = {
+            let vm = &self.vms[v];
+            vm.downloads
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.at_dc && !d.started)
+                .min_by_key(|(i, d)| (pos_of(vm, d.task), d.edge.map_or(0, |e| e.0), *i))
+                .map(|(i, _)| i)
+        };
+        if let Some(i) = best {
+            self.vms[v].downloads[i].started = true;
+            self.vms[v].in_busy = true;
+            let bytes = self.vms[v].downloads[i].bytes.max(B_EPS);
+            self.active.push(Active {
+                vm: v,
+                dir: Dir::Down,
+                payload: TransferPayload::Download(i),
+                remaining: bytes,
+                rate: self.bandwidth(),
+            });
+            self.recompute_rates();
+        }
+    }
+
+    /// Start the next queued upload on `v`, if its out-link is free.
+    fn try_start_upload(&mut self, v: usize) {
+        if self.vms[v].out_busy {
+            return;
+        }
+        if let Some(u) = self.vms[v].uploads.pop_front() {
+            self.vms[v].out_busy = true;
+            self.active.push(Active {
+                vm: v,
+                dir: Dir::Up,
+                payload: TransferPayload::Upload(u),
+                remaining: u.bytes.max(B_EPS),
+                rate: self.bandwidth(),
+            });
+            self.recompute_rates();
+        }
+    }
+
+    /// Start the next task on `v` if the processor is free and inputs are in.
+    fn try_start_compute(&mut self, v: usize) {
+        let vm = &self.vms[v];
+        if !vm.ready || vm.proc_busy || vm.next_idx >= vm.order.len() {
+            return;
+        }
+        let t = vm.order[vm.next_idx];
+        if self.missing[t.index()] > 0 {
+            return;
+        }
+        let cat = self.platform.category(self.schedule.vm_category(VmId(v as u32)));
+        let dur = self.weights[t.index()] / cat.speed;
+        self.records[t.index()] = TaskRecord {
+            task: t,
+            vm: VmId(v as u32),
+            start: self.now,
+            end: self.now + dur,
+            realized_weight: self.weights[t.index()],
+        };
+        self.vms[v].proc_busy = true;
+        self.push_event(self.now + dur, Event::TaskDone { vm: v, task: t });
+    }
+
+    fn on_task_done(&mut self, v: usize, t: TaskId) {
+        self.done[t.index()] = true;
+        self.completed += 1;
+        self.vms[v].proc_busy = false;
+        self.vms[v].next_idx += 1;
+        self.vms[v].tasks_run += 1;
+        self.vms[v].last_activity = self.now;
+        // Satisfy same-VM consumers; queue uploads for cross-VM edges.
+        for &e in self.wf.out_edges(t) {
+            if self.schedule.is_cross_vm(self.wf, e) {
+                self.vms[v].uploads.push_back(Upload { edge: Some(e), bytes: self.wf.edge(e).size });
+            } else {
+                let c = self.wf.edge(e).to;
+                self.missing[c.index()] -= 1;
+                // Consumer is on this same VM.
+                self.try_start_compute(v);
+            }
+        }
+        let ext_out = self.wf.task(t).external_output;
+        if ext_out > 0.0 {
+            self.vms[v].uploads.push_back(Upload { edge: None, bytes: ext_out });
+        }
+        self.try_start_upload(v);
+        self.try_start_compute(v);
+    }
+
+    fn on_boot_done(&mut self, v: usize) {
+        self.vms[v].ready = true;
+        self.vms[v].ready_at = self.now;
+        self.vms[v].last_activity = self.now;
+        self.try_start_download(v);
+        self.try_start_compute(v);
+    }
+
+    fn on_download_done(&mut self, v: usize, idx: usize) {
+        let d = self.vms[v].downloads[idx];
+        self.vms[v].in_busy = false;
+        self.vms[v].last_activity = self.now;
+        self.missing[d.task.index()] -= 1;
+        self.try_start_download(v);
+        self.try_start_compute(v);
+    }
+
+    fn on_upload_done(&mut self, v: usize, u: Upload) {
+        self.vms[v].out_busy = false;
+        self.vms[v].last_activity = self.now;
+        if let Some(e) = u.edge {
+            self.edge_at_dc[e.index()] = true;
+            let consumer = self.wf.edge(e).to;
+            let cv = self.schedule.assignment(consumer).expect("validated").index();
+            // Mark the matching pending download as available.
+            for d in &mut self.vms[cv].downloads {
+                if d.edge == Some(e) {
+                    d.at_dc = true;
+                }
+            }
+            // Boot gate: first-task inputs arriving can trigger the booking.
+            if self.vms[cv].booked_at.is_none() {
+                if let Some(&first) = self.vms[cv].order.first() {
+                    if first == consumer {
+                        self.vms[cv].boot_gate -= 1;
+                        if self.vms[cv].boot_gate == 0 {
+                            self.book_vm(cv);
+                        }
+                    }
+                }
+            }
+            self.try_start_download(cv);
+        }
+        self.try_start_upload(v);
+    }
+
+    fn run(mut self) -> Result<SimulationReport, SimError> {
+        // Book every VM whose boot gate is already open (first task has no
+        // cross-VM inputs: entry tasks, or tasks with same-VM-only preds
+        // cannot be first, so this means entries / no inputs).
+        for v in 0..self.vms.len() {
+            if !self.vms[v].order.is_empty() && self.vms[v].boot_gate == 0 {
+                self.book_vm(v);
+            }
+        }
+
+        loop {
+            // Next transfer completion, if any.
+            let next_xfer: Option<f64> = self
+                .active
+                .iter()
+                .map(|a| self.now + a.remaining / a.rate)
+                .min_by(|a, b| a.total_cmp(b));
+            let next_ev: Option<f64> = self.heap.peek().map(|Reverse(h)| h.time);
+            let t = match (next_xfer, next_ev) {
+                (None, None) => break,
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (Some(a), Some(b)) => a.min(b),
+            };
+            debug_assert!(t >= self.now - T_EPS, "time went backwards: {t} < {}", self.now);
+            let dt = (t - self.now).max(0.0);
+            for a in &mut self.active {
+                a.remaining -= a.rate * dt;
+            }
+            self.now = t;
+
+            // Transfer completions first (deterministic order by vm/dir).
+            // A transfer is done when its bytes are drained OR when the
+            // time it still needs is below the clock resolution at `now` —
+            // without the latter, `now + remaining/rate == now` can stall
+            // the clock forever once `now` is large (float underflow).
+            let resolution = (self.now.abs() * f64::EPSILON).max(T_EPS);
+            let mut finished: Vec<usize> = self
+                .active
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.remaining <= B_EPS || a.remaining <= a.rate * resolution)
+                .map(|(i, _)| i)
+                .collect();
+            // Remove in descending *index* order so swap_remove never
+            // touches a not-yet-removed finished entry; then order the
+            // removed set deterministically (vm, direction) for processing.
+            finished.sort_unstable_by(|a, b| b.cmp(a));
+            let mut done_transfers = Vec::with_capacity(finished.len());
+            for &i in &finished {
+                done_transfers.push(self.active.swap_remove(i));
+            }
+            done_transfers.sort_by_key(|a| (a.vm, matches!(a.dir, Dir::Up) as u8));
+            if !done_transfers.is_empty() {
+                self.recompute_rates();
+            }
+            for a in done_transfers {
+                match a.payload {
+                    TransferPayload::Download(idx) => self.on_download_done(a.vm, idx),
+                    TransferPayload::Upload(u) => self.on_upload_done(a.vm, u),
+                }
+            }
+
+            // Then discrete events scheduled at (or before) `now`.
+            while let Some(Reverse(h)) = self.heap.peek().copied() {
+                if h.time <= self.now + T_EPS {
+                    self.heap.pop();
+                    match h.event {
+                        Event::BootDone(v) => self.on_boot_done(v),
+                        Event::TaskDone { vm, task } => self.on_task_done(vm, task),
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+
+        if self.completed != self.wf.task_count() {
+            return Err(SimError::Stalled { completed: self.completed });
+        }
+        Ok(self.build_report())
+    }
+
+    fn build_report(&self) -> SimulationReport {
+        let mut vm_usages = Vec::new();
+        let mut start_first = f64::INFINITY;
+        let mut end_last: f64 = 0.0;
+        let mut vm_cost_total = 0.0;
+        for (v, vm) in self.vms.iter().enumerate() {
+            let Some(booked) = vm.booked_at else { continue };
+            let cat_id = self.schedule.vm_category(VmId(v as u32));
+            let usage = vm.last_activity - vm.ready_at;
+            let cost = self.platform.vm_cost(cat_id, usage);
+            start_first = start_first.min(booked);
+            end_last = end_last.max(vm.last_activity);
+            vm_cost_total += cost;
+            vm_usages.push(VmUsage {
+                vm: VmId(v as u32),
+                category: cat_id,
+                booked_at: booked,
+                ready_at: vm.ready_at,
+                released_at: vm.last_activity,
+                cost,
+                tasks_run: vm.tasks_run,
+            });
+        }
+        if !start_first.is_finite() {
+            start_first = 0.0;
+        }
+        let makespan = (end_last - start_first).max(0.0);
+        let external =
+            self.wf.external_input_data() + self.wf.external_output_data();
+        let dc_cost = self.platform.datacenter.cost(makespan, external);
+        SimulationReport {
+            makespan,
+            vm_cost: vm_cost_total,
+            datacenter_cost: dc_cost,
+            total_cost: vm_cost_total + dc_cost,
+            vms_used: vm_usages.iter().filter(|u| u.tasks_run > 0).count(),
+            tasks: self.records.clone(),
+            vms: vm_usages,
+        }
+    }
+}
+
+/// Validate `schedule` and simulate the execution of `wf` on `platform`.
+pub fn simulate(
+    wf: &Workflow,
+    platform: &Platform,
+    schedule: &Schedule,
+    config: &SimConfig,
+) -> Result<SimulationReport, SimError> {
+    schedule.validate(wf)?;
+    Engine::new(wf, platform, schedule, config).run()
+}

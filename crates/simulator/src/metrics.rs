@@ -1,0 +1,127 @@
+//! Post-hoc metrics over a [`SimulationReport`]: VM utilization, the
+//! parallelism profile, cost efficiency — the quantities one inspects when
+//! judging *why* a schedule is cheap or slow.
+
+use crate::report::SimulationReport;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated execution metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionMetrics {
+    /// Busy time (computing) divided by charged time, averaged over VMs
+    /// weighted by their charged time. 1.0 = no idle, no transfer stalls.
+    pub utilization: f64,
+    /// Total seconds of computation across all tasks.
+    pub total_compute_time: f64,
+    /// Total charged VM seconds.
+    pub total_charged_time: f64,
+    /// Average number of concurrently *running* tasks over the makespan.
+    pub mean_parallelism: f64,
+    /// Maximum number of concurrently running tasks.
+    pub peak_parallelism: usize,
+    /// Dollars per hour of saved wall-clock relative to a serial execution
+    /// of the same realized work (∞ if nothing is saved).
+    pub speedup: f64,
+}
+
+/// Compute [`ExecutionMetrics`] for a report.
+pub fn metrics(report: &SimulationReport) -> ExecutionMetrics {
+    let total_compute: f64 = report.tasks.iter().map(|t| t.end - t.start).sum();
+    let total_charged: f64 = report
+        .vms
+        .iter()
+        .map(|v| (v.released_at - v.ready_at).max(0.0))
+        .sum();
+
+    // Parallelism profile via an event sweep over task intervals.
+    let mut events: Vec<(f64, i32)> = Vec::with_capacity(report.tasks.len() * 2);
+    for t in &report.tasks {
+        events.push((t.start, 1));
+        events.push((t.end, -1));
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut depth = 0i32;
+    let mut peak = 0i32;
+    let mut last_t = events.first().map_or(0.0, |e| e.0);
+    let mut area = 0.0;
+    for (t, d) in events {
+        area += depth as f64 * (t - last_t);
+        depth += d;
+        peak = peak.max(depth);
+        last_t = t;
+    }
+    let makespan = report.makespan.max(1e-12);
+
+    ExecutionMetrics {
+        utilization: if total_charged > 0.0 { total_compute / total_charged } else { 0.0 },
+        total_compute_time: total_compute,
+        total_charged_time: total_charged,
+        mean_parallelism: area / makespan,
+        peak_parallelism: peak.max(0) as usize,
+        speedup: total_compute / makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use crate::{simulate, SimConfig};
+    use wfs_platform::{CategoryId, Platform};
+    use wfs_workflow::gen::{bag_of_tasks, chain, GenConfig, BenchmarkType};
+
+    fn paper() -> Platform {
+        Platform::paper_default()
+    }
+
+    #[test]
+    fn serial_chain_has_parallelism_one() {
+        let wf = chain(5, 200.0, 0.0);
+        let p = paper();
+        let mut s = Schedule::new(wf.task_count());
+        let vm = s.add_vm(CategoryId(0));
+        for &t in wf.topological_order() {
+            s.assign(t, vm);
+        }
+        let r = simulate(&wf, &p, &s, &SimConfig::planning()).unwrap();
+        let m = metrics(&r);
+        assert_eq!(m.peak_parallelism, 1);
+        assert!(m.mean_parallelism <= 1.0 + 1e-9);
+        assert!((m.speedup - m.mean_parallelism).abs() < 1e-9);
+        // Back-to-back tasks, no transfers: utilization near 1.
+        assert!(m.utilization > 0.95, "{m:?}");
+    }
+
+    #[test]
+    fn parallel_bag_has_high_parallelism() {
+        let wf = bag_of_tasks(8, 2000.0, 0.0);
+        let p = paper();
+        let mut s = Schedule::new(wf.task_count());
+        for t in wf.task_ids() {
+            let vm = s.add_vm(CategoryId(0));
+            s.assign(t, vm);
+        }
+        let r = simulate(&wf, &p, &s, &SimConfig::planning()).unwrap();
+        let m = metrics(&r);
+        assert_eq!(m.peak_parallelism, 8);
+        assert!(m.mean_parallelism > 4.0, "{m:?}");
+        assert!(m.speedup > 4.0);
+    }
+
+    #[test]
+    fn compute_time_matches_task_intervals() {
+        let wf = BenchmarkType::Montage.generate(GenConfig::new(30, 1));
+        let p = paper();
+        let mut s = Schedule::new(wf.task_count());
+        let vm = s.add_vm(CategoryId(1));
+        for &t in wf.topological_order() {
+            s.assign(t, vm);
+        }
+        let r = simulate(&wf, &p, &s, &SimConfig::stochastic(3)).unwrap();
+        let m = metrics(&r);
+        let direct: f64 = r.tasks.iter().map(|t| t.end - t.start).sum();
+        assert!((m.total_compute_time - direct).abs() < 1e-9);
+        assert!(m.total_charged_time >= m.total_compute_time - 1e-9);
+        assert!(m.utilization <= 1.0 + 1e-9);
+    }
+}

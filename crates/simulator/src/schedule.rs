@@ -1,0 +1,387 @@
+//! Schedules: the mapping produced by a scheduling algorithm and consumed by
+//! the simulator.
+
+use serde::{Deserialize, Serialize};
+use wfs_platform::CategoryId;
+use wfs_workflow::{TaskId, Workflow};
+
+/// Identifier of a VM *instance* enrolled by a schedule (dense indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VmId(pub u32);
+
+impl VmId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VmId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+/// Errors raised by schedule validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A task has no VM assignment.
+    Unassigned(TaskId),
+    /// A task appears in the order list of a VM it is not assigned to, or
+    /// appears twice.
+    InconsistentOrder(TaskId),
+    /// The combination of DAG precedence and per-VM execution orders admits
+    /// no valid execution (circular wait across VMs).
+    Deadlock,
+    /// A VM id out of range was referenced.
+    UnknownVm(VmId),
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Unassigned(t) => write!(f, "task {t} has no VM assignment"),
+            ScheduleError::InconsistentOrder(t) => {
+                write!(f, "task {t} order entry inconsistent with its assignment")
+            }
+            ScheduleError::Deadlock => write!(f, "schedule deadlocks (cross-VM circular wait)"),
+            ScheduleError::UnknownVm(v) => write!(f, "unknown VM {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A complete schedule: the set of enrolled VM instances (each of a given
+/// category), the task→VM assignment, and the execution order on each VM.
+///
+/// Built incrementally by scheduling algorithms via [`Schedule::new`],
+/// [`Schedule::add_vm`] and [`Schedule::assign`]; [`Schedule::validate`]
+/// checks it is executable before simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Category of each enrolled VM instance, indexed by [`VmId`].
+    vms: Vec<CategoryId>,
+    /// Assignment of each task, indexed by [`TaskId`].
+    assignment: Vec<Option<VmId>>,
+    /// Execution order on each VM, indexed by [`VmId`].
+    order: Vec<Vec<TaskId>>,
+}
+
+impl Schedule {
+    /// An empty schedule for a workflow of `n_tasks` tasks.
+    pub fn new(n_tasks: usize) -> Self {
+        Self { vms: Vec::new(), assignment: vec![None; n_tasks], order: Vec::new() }
+    }
+
+    /// Enroll a new VM instance of the given category; returns its id.
+    pub fn add_vm(&mut self, category: CategoryId) -> VmId {
+        let id = VmId(self.vms.len() as u32);
+        self.vms.push(category);
+        self.order.push(Vec::new());
+        id
+    }
+
+    /// Append `task` to the execution order of `vm` and record the
+    /// assignment. Panics if the task is already assigned (algorithms assign
+    /// each task exactly once; re-mapping goes through [`Schedule::reassign`]).
+    pub fn assign(&mut self, task: TaskId, vm: VmId) {
+        assert!(
+            self.assignment[task.index()].is_none(),
+            "task {task} assigned twice; use reassign to move it"
+        );
+        self.assignment[task.index()] = Some(vm);
+        self.order[vm.index()].push(task);
+    }
+
+    /// Move `task` to the *end* of `vm`'s order (used by the refinement
+    /// algorithms when trying alternative hosts). The caller re-sorts orders
+    /// afterwards via [`Schedule::sort_orders_by`].
+    pub fn reassign(&mut self, task: TaskId, vm: VmId) {
+        if let Some(old) = self.assignment[task.index()] {
+            self.order[old.index()].retain(|&t| t != task);
+        }
+        self.assignment[task.index()] = Some(vm);
+        self.order[vm.index()].push(task);
+    }
+
+    /// Re-sort every VM's execution order by a task key (typically the HEFT
+    /// priority rank), keeping schedules executable after reassignments.
+    pub fn sort_orders_by<K: PartialOrd>(&mut self, key: impl Fn(TaskId) -> K) {
+        for ord in &mut self.order {
+            ord.sort_by(|&a, &b| key(a).partial_cmp(&key(b)).expect("keys are comparable"));
+        }
+    }
+
+    /// Drop enrolled VMs that ended up with no tasks, remapping ids densely.
+    /// Refinements can empty a VM; pruning keeps reports meaningful.
+    pub fn prune_empty_vms(&mut self) {
+        let mut remap: Vec<Option<VmId>> = Vec::with_capacity(self.vms.len());
+        let mut new_vms = Vec::new();
+        let mut new_order = Vec::new();
+        for (i, ord) in self.order.iter().enumerate() {
+            if ord.is_empty() {
+                remap.push(None);
+            } else {
+                remap.push(Some(VmId(new_vms.len() as u32)));
+                new_vms.push(self.vms[i]);
+                new_order.push(ord.clone());
+            }
+        }
+        for a in &mut self.assignment {
+            if let Some(vm) = a {
+                *a = Some(remap[vm.index()].expect("assigned VM cannot be empty"));
+            }
+        }
+        self.vms = new_vms;
+        self.order = new_order;
+    }
+
+    /// Number of enrolled VM instances.
+    #[inline]
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Category of a VM instance.
+    #[inline]
+    pub fn vm_category(&self, vm: VmId) -> CategoryId {
+        self.vms[vm.index()]
+    }
+
+    /// Ids of all enrolled VMs.
+    pub fn vm_ids(&self) -> impl Iterator<Item = VmId> + '_ {
+        (0..self.vms.len() as u32).map(VmId)
+    }
+
+    /// The VM a task is assigned to, if any.
+    #[inline]
+    pub fn assignment(&self, task: TaskId) -> Option<VmId> {
+        self.assignment[task.index()]
+    }
+
+    /// The execution order on a VM.
+    #[inline]
+    pub fn order(&self, vm: VmId) -> &[TaskId] {
+        &self.order[vm.index()]
+    }
+
+    /// Number of VMs that actually host at least one task.
+    pub fn used_vm_count(&self) -> usize {
+        self.order.iter().filter(|o| !o.is_empty()).count()
+    }
+
+    /// True if producer and consumer of `edge` are on different VMs (so the
+    /// data must transit through the datacenter).
+    pub fn is_cross_vm(&self, wf: &Workflow, edge: wfs_workflow::EdgeId) -> bool {
+        let e = wf.edge(edge);
+        match (self.assignment(e.from), self.assignment(e.to)) {
+            (Some(a), Some(b)) => a != b,
+            _ => true,
+        }
+    }
+
+    /// Validate that the schedule can execute `wf`: every task assigned,
+    /// orders consistent, and the union of DAG precedence and per-VM order
+    /// constraints acyclic.
+    pub fn validate(&self, wf: &Workflow) -> Result<(), ScheduleError> {
+        let n = wf.task_count();
+        for t in wf.task_ids() {
+            match self.assignment[t.index()] {
+                None => return Err(ScheduleError::Unassigned(t)),
+                Some(vm) if vm.index() >= self.vms.len() => {
+                    return Err(ScheduleError::UnknownVm(vm))
+                }
+                Some(_) => {}
+            }
+        }
+        // Each task appears exactly once, on the VM it is assigned to.
+        let mut seen = vec![false; n];
+        for (vm_idx, ord) in self.order.iter().enumerate() {
+            for &t in ord {
+                if t.index() >= n
+                    || seen[t.index()]
+                    || self.assignment[t.index()] != Some(VmId(vm_idx as u32))
+                {
+                    return Err(ScheduleError::InconsistentOrder(t));
+                }
+                seen[t.index()] = true;
+            }
+        }
+        if let Some(idx) = seen.iter().position(|&s| !s) {
+            return Err(ScheduleError::InconsistentOrder(TaskId(idx as u32)));
+        }
+        // Deadlock check: topological sort of DAG edges + per-VM order edges.
+        let mut indeg = vec![0usize; n];
+        let mut extra_succ: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for e in wf.edges() {
+            indeg[e.to.index()] += 1;
+        }
+        for ord in &self.order {
+            for w in ord.windows(2) {
+                extra_succ[w[0].index()].push(w[1]);
+                indeg[w[1].index()] += 1;
+            }
+        }
+        let mut queue: Vec<TaskId> =
+            wf.task_ids().filter(|t| indeg[t.index()] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(t) = queue.pop() {
+            visited += 1;
+            for s in wf.successors(t) {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push(s);
+                }
+            }
+            for &s in &extra_succ[t.index()] {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if visited != n {
+            return Err(ScheduleError::Deadlock);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfs_workflow::gen::{chain, fork_join};
+    use wfs_workflow::StochasticWeight;
+    use wfs_workflow::WorkflowBuilder;
+
+    fn cat(i: u32) -> CategoryId {
+        CategoryId(i)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let wf = chain(3, 10.0, 1e6);
+        let mut s = Schedule::new(wf.task_count());
+        let v0 = s.add_vm(cat(0));
+        let v1 = s.add_vm(cat(2));
+        s.assign(TaskId(0), v0);
+        s.assign(TaskId(1), v1);
+        s.assign(TaskId(2), v0);
+        assert_eq!(s.vm_count(), 2);
+        assert_eq!(s.used_vm_count(), 2);
+        assert_eq!(s.assignment(TaskId(1)), Some(v1));
+        assert_eq!(s.order(v0), &[TaskId(0), TaskId(2)]);
+        assert_eq!(s.vm_category(v1), cat(2));
+        s.validate(&wf).unwrap();
+    }
+
+    #[test]
+    fn unassigned_task_detected() {
+        let wf = chain(2, 10.0, 1e6);
+        let mut s = Schedule::new(wf.task_count());
+        let v0 = s.add_vm(cat(0));
+        s.assign(TaskId(0), v0);
+        assert_eq!(s.validate(&wf).unwrap_err(), ScheduleError::Unassigned(TaskId(1)));
+    }
+
+    #[test]
+    fn cross_vm_detection() {
+        let wf = chain(2, 10.0, 1e6);
+        let mut s = Schedule::new(wf.task_count());
+        let v0 = s.add_vm(cat(0));
+        s.assign(TaskId(0), v0);
+        s.assign(TaskId(1), v0);
+        assert!(!s.is_cross_vm(&wf, wfs_workflow::EdgeId(0)));
+        let mut s2 = Schedule::new(wf.task_count());
+        let a = s2.add_vm(cat(0));
+        let b = s2.add_vm(cat(0));
+        s2.assign(TaskId(0), a);
+        s2.assign(TaskId(1), b);
+        assert!(s2.is_cross_vm(&wf, wfs_workflow::EdgeId(0)));
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        // a -> b on VM0; c -> d on VM1; order forces b before ... build a
+        // cross wait: VM0 runs [b, c_pred] etc. Simplest: two independent
+        // 2-chains, each VM interleaves them in opposite orders.
+        let mut b = WorkflowBuilder::new("dl");
+        let a1 = b.add_task("a1", StochasticWeight::fixed(1.0));
+        let a2 = b.add_task("a2", StochasticWeight::fixed(1.0));
+        let c1 = b.add_task("c1", StochasticWeight::fixed(1.0));
+        let c2 = b.add_task("c2", StochasticWeight::fixed(1.0));
+        b.add_edge(a1, a2, 0.0).unwrap();
+        b.add_edge(c1, c2, 0.0).unwrap();
+        let wf = b.build().unwrap();
+        let mut s = Schedule::new(wf.task_count());
+        let v0 = s.add_vm(cat(0));
+        let v1 = s.add_vm(cat(0));
+        // VM0 runs a2 then c1; VM1 runs c2 then a1: a1 waits VM1 slot after
+        // c2, c2 waits c1, c1 waits VM0 slot after a2, a2 waits a1. Cycle.
+        s.assign(a2, v0);
+        s.assign(c1, v0);
+        s.assign(c2, v1);
+        s.assign(a1, v1);
+        assert_eq!(s.validate(&wf).unwrap_err(), ScheduleError::Deadlock);
+    }
+
+    #[test]
+    fn reassign_moves_between_orders() {
+        let wf = fork_join(2, 5.0, 1e6);
+        let mut s = Schedule::new(wf.task_count());
+        let v0 = s.add_vm(cat(0));
+        let v1 = s.add_vm(cat(1));
+        for t in wf.task_ids() {
+            s.assign(t, v0);
+        }
+        s.validate(&wf).unwrap();
+        s.reassign(TaskId(1), v1);
+        // Restore precedence-compatible ordering by task id (valid for
+        // fork_join since ids are topological).
+        s.sort_orders_by(|t| t.0);
+        s.validate(&wf).unwrap();
+        assert_eq!(s.assignment(TaskId(1)), Some(v1));
+        assert_eq!(s.order(v1), &[TaskId(1)]);
+        assert!(!s.order(v0).contains(&TaskId(1)));
+    }
+
+    #[test]
+    fn prune_empty_vms_remaps_ids() {
+        let wf = chain(2, 5.0, 1e6);
+        let mut s = Schedule::new(wf.task_count());
+        let _v0 = s.add_vm(cat(0));
+        let v1 = s.add_vm(cat(1));
+        let _v2 = s.add_vm(cat(2));
+        s.assign(TaskId(0), v1);
+        s.assign(TaskId(1), v1);
+        s.prune_empty_vms();
+        assert_eq!(s.vm_count(), 1);
+        assert_eq!(s.assignment(TaskId(0)), Some(VmId(0)));
+        assert_eq!(s.vm_category(VmId(0)), cat(1));
+        s.validate(&wf).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn double_assign_panics() {
+        let wf = chain(1, 5.0, 1e6);
+        let mut s = Schedule::new(wf.task_count());
+        let v0 = s.add_vm(cat(0));
+        s.assign(TaskId(0), v0);
+        s.assign(TaskId(0), v0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let wf = chain(2, 5.0, 1e6);
+        let mut s = Schedule::new(wf.task_count());
+        let v0 = s.add_vm(cat(1));
+        s.assign(TaskId(0), v0);
+        s.assign(TaskId(1), v0);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

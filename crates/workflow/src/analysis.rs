@@ -1,0 +1,292 @@
+//! Structural analyses over workflows: BFS levels (BDT), bottom levels /
+//! upward ranks (HEFT), critical path, and summary statistics.
+
+use crate::graph::Workflow;
+use crate::task::TaskId;
+
+/// Which weight estimate an analysis uses for task durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightMode {
+    /// Mean weight `w̄` (what plain HEFT/MIN-MIN on deterministic DAGs use).
+    Mean,
+    /// Conservative `w̄ + σ` (what the budget-aware algorithms plan with).
+    Conservative,
+}
+
+impl WeightMode {
+    /// The work amount of `t` under this mode.
+    pub fn work(self, wf: &Workflow, t: TaskId) -> f64 {
+        let w = wf.task(t).weight;
+        match self {
+            WeightMode::Mean => w.mean,
+            WeightMode::Conservative => w.conservative(),
+        }
+    }
+}
+
+/// Partition the tasks into *levels*: level of `t` = length of the longest
+/// path from any entry task to `t` (0 for entries). Tasks in one level are
+/// pairwise independent. This is the decomposition BDT schedules by
+/// (paper §V-D1 step (i)).
+pub fn levels(wf: &Workflow) -> Vec<Vec<TaskId>> {
+    let n = wf.task_count();
+    let mut depth = vec![0usize; n];
+    for &t in wf.topological_order() {
+        for p in wf.predecessors(t) {
+            depth[t.index()] = depth[t.index()].max(depth[p.index()] + 1);
+        }
+    }
+    let max_depth = depth.iter().copied().max().unwrap_or(0);
+    let mut out = vec![Vec::new(); max_depth + 1];
+    for t in wf.task_ids() {
+        out[depth[t.index()]].push(t);
+    }
+    out
+}
+
+/// Level index of each task (same definition as [`levels`]).
+pub fn level_of(wf: &Workflow) -> Vec<usize> {
+    let mut depth = vec![0usize; wf.task_count()];
+    for &t in wf.topological_order() {
+        for p in wf.predecessors(t) {
+            depth[t.index()] = depth[t.index()].max(depth[p.index()] + 1);
+        }
+    }
+    depth
+}
+
+/// Bottom levels (HEFT upward ranks):
+///
+/// `rank(T) = w_T / speed + max over successors S of (size(T,S)/bw + rank(S))`
+///
+/// `speed` is the mean VM speed `s̄` and `bw` the datacenter bandwidth, so
+/// ranks are in seconds. HEFT and HEFTBUDG schedule tasks by non-increasing
+/// rank (paper §IV, [24]).
+pub fn bottom_levels(wf: &Workflow, mode: WeightMode, speed: f64, bw: f64) -> Vec<f64> {
+    assert!(speed > 0.0 && bw > 0.0, "speed and bandwidth must be positive");
+    let mut rank = vec![0.0f64; wf.task_count()];
+    for &t in wf.topological_order().iter().rev() {
+        let exec = mode.work(wf, t) / speed;
+        let mut tail: f64 = 0.0;
+        for &e in wf.out_edges(t) {
+            let edge = wf.edge(e);
+            tail = tail.max(edge.size / bw + rank[edge.to.index()]);
+        }
+        rank[t.index()] = exec + tail;
+    }
+    rank
+}
+
+/// Task ids ordered by non-increasing bottom level — the `ListT` priority
+/// list of HEFT/HEFTBUDG. Ties break on task id for determinism.
+pub fn heft_order(wf: &Workflow, mode: WeightMode, speed: f64, bw: f64) -> Vec<TaskId> {
+    let rank = bottom_levels(wf, mode, speed, bw);
+    let mut ids: Vec<TaskId> = wf.task_ids().collect();
+    ids.sort_by(|a, b| {
+        rank[b.index()]
+            .partial_cmp(&rank[a.index()])
+            .expect("ranks are finite")
+            .then(a.0.cmp(&b.0))
+    });
+    ids
+}
+
+/// The critical path: the entry→exit chain with maximal total duration
+/// (execution at `speed` + transfers at `bw`). Returns `(path, length_secs)`.
+pub fn critical_path(wf: &Workflow, mode: WeightMode, speed: f64, bw: f64) -> (Vec<TaskId>, f64) {
+    let rank = bottom_levels(wf, mode, speed, bw);
+    // Start from the entry task with the largest rank, then repeatedly follow
+    // the successor that realizes the max in the rank recurrence.
+    let start = wf
+        .entry_tasks()
+        .max_by(|a, b| rank[a.index()].partial_cmp(&rank[b.index()]).unwrap())
+        .expect("workflow is non-empty");
+    let mut path = vec![start];
+    let mut cur = start;
+    loop {
+        let mut best: Option<(TaskId, f64)> = None;
+        for &e in wf.out_edges(cur) {
+            let edge = wf.edge(e);
+            let via = edge.size / bw + rank[edge.to.index()];
+            if best.is_none_or(|(_, v)| via > v) {
+                best = Some((edge.to, via));
+            }
+        }
+        match best {
+            Some((next, _)) => {
+                path.push(next);
+                cur = next;
+            }
+            None => break,
+        }
+    }
+    (path, rank[start.index()])
+}
+
+/// Summary statistics of a workflow's shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowStats {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Number of levels (longest path length + 1).
+    pub depth: usize,
+    /// Maximum level population (degree of parallelism).
+    pub width: usize,
+    /// Number of entry tasks.
+    pub entries: usize,
+    /// Number of exit tasks.
+    pub exits: usize,
+    /// Total mean work (Gflop).
+    pub total_work: f64,
+    /// Total intra-workflow data (bytes).
+    pub total_data: f64,
+    /// Communication-to-computation ratio: bytes per unit of work.
+    pub ccr: f64,
+}
+
+/// Compute [`WorkflowStats`].
+pub fn stats(wf: &Workflow) -> WorkflowStats {
+    let lv = levels(wf);
+    let total_work = wf.total_mean_work();
+    let total_data = wf.total_edge_data();
+    WorkflowStats {
+        tasks: wf.task_count(),
+        edges: wf.edge_count(),
+        depth: lv.len(),
+        width: lv.iter().map(Vec::len).max().unwrap_or(0),
+        entries: wf.entry_tasks().count(),
+        exits: wf.exit_tasks().count(),
+        total_work,
+        total_data,
+        ccr: if total_work > 0.0 { total_data / total_work } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WorkflowBuilder;
+    use crate::task::StochasticWeight;
+
+    fn w(mean: f64) -> StochasticWeight {
+        StochasticWeight::fixed(mean)
+    }
+
+    /// a(1) -> b(2) -> d(4); a -> c(8) -> d. Edges all 10 bytes.
+    fn diamond() -> Workflow {
+        let mut b = WorkflowBuilder::new("diamond");
+        let a = b.add_task("a", w(1.0));
+        let t1 = b.add_task("b", w(2.0));
+        let t2 = b.add_task("c", w(8.0));
+        let d = b.add_task("d", w(4.0));
+        for (f, t) in [(a, t1), (a, t2), (t1, d), (t2, d)] {
+            b.add_edge(f, t, 10.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn levels_of_diamond() {
+        let wf = diamond();
+        let lv = levels(&wf);
+        assert_eq!(lv.len(), 3);
+        assert_eq!(lv[0], vec![TaskId(0)]);
+        assert_eq!(lv[1], vec![TaskId(1), TaskId(2)]);
+        assert_eq!(lv[2], vec![TaskId(3)]);
+        assert_eq!(level_of(&wf), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn bottom_levels_unit_speed_no_comm() {
+        let wf = diamond();
+        // speed 1, bandwidth huge => pure compute ranks.
+        let r = bottom_levels(&wf, WeightMode::Mean, 1.0, 1e18);
+        assert!((r[3] - 4.0).abs() < 1e-9);
+        assert!((r[1] - 6.0).abs() < 1e-9);
+        assert!((r[2] - 12.0).abs() < 1e-9);
+        assert!((r[0] - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottom_levels_include_transfers() {
+        let wf = diamond();
+        // speed 1, bw 10 bytes/s => each edge adds 1 s.
+        let r = bottom_levels(&wf, WeightMode::Mean, 1.0, 10.0);
+        assert!((r[3] - 4.0).abs() < 1e-9);
+        assert!((r[2] - (8.0 + 1.0 + 4.0)).abs() < 1e-9);
+        assert!((r[0] - (1.0 + 1.0 + 13.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heft_order_is_descending_rank() {
+        let wf = diamond();
+        let order = heft_order(&wf, WeightMode::Mean, 1.0, 1e18);
+        assert_eq!(order, vec![TaskId(0), TaskId(2), TaskId(1), TaskId(3)]);
+    }
+
+    #[test]
+    fn heft_order_respects_precedence() {
+        // For any DAG, sorting by bottom level is a valid topological order
+        // when all edge costs are non-negative.
+        let wf = diamond();
+        let order = heft_order(&wf, WeightMode::Conservative, 2.0, 100.0);
+        let mut pos = vec![0; wf.task_count()];
+        for (i, t) in order.iter().enumerate() {
+            pos[t.index()] = i;
+        }
+        for e in wf.edges() {
+            assert!(pos[e.from.index()] < pos[e.to.index()]);
+        }
+    }
+
+    #[test]
+    fn critical_path_of_diamond() {
+        let wf = diamond();
+        let (path, len) = critical_path(&wf, WeightMode::Mean, 1.0, 10.0);
+        assert_eq!(path, vec![TaskId(0), TaskId(2), TaskId(3)]);
+        assert!((len - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conservative_mode_uses_sigma() {
+        let wf = diamond().with_sigma_ratio(1.0); // σ = mean => weight doubles
+        let r_mean = bottom_levels(&wf, WeightMode::Mean, 1.0, 1e18);
+        let r_cons = bottom_levels(&wf, WeightMode::Conservative, 1.0, 1e18);
+        for (m, c) in r_mean.iter().zip(&r_cons) {
+            assert!((c - 2.0 * m).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stats_of_diamond() {
+        let wf = diamond();
+        let s = stats(&wf);
+        assert_eq!(s.tasks, 4);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.width, 2);
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.exits, 1);
+        assert!((s.total_work - 15.0).abs() < 1e-9);
+        assert!((s.total_data - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_has_width_one() {
+        let mut b = WorkflowBuilder::new("chain");
+        let mut prev = b.add_task("t0", w(1.0));
+        for i in 1..5 {
+            let t = b.add_task(format!("t{i}"), w(1.0));
+            b.add_edge(prev, t, 1.0).unwrap();
+            prev = t;
+        }
+        let wf = b.build().unwrap();
+        let s = stats(&wf);
+        assert_eq!(s.depth, 5);
+        assert_eq!(s.width, 1);
+        let lv = levels(&wf);
+        assert!(lv.iter().all(|l| l.len() == 1));
+    }
+}

@@ -1,0 +1,480 @@
+//! DAX interchange: read and write the Pegasus DAX (Directed Acyclic graph
+//! XML) dialect that the paper's benchmark suite ships in.
+//!
+//! Only the subset the WorkflowGenerator emits is supported — `<job>`
+//! elements with `runtime` and `<uses file=... link=in|output size=...>`
+//! children, plus `<child>/<parent>` dependency declarations. Data sizes on
+//! edges are recovered the standard way: an edge `(P, C)` carries the bytes
+//! of every file `P` lists as *output* and `C` lists as *input*.
+//!
+//! DAX runtimes are seconds on a reference machine; weights are
+//! `runtime × reference_speed`. Standard DAX has no weight variance; the
+//! writer emits a non-standard `sigma` attribute (ignored by other tools)
+//! which the reader honours when present.
+//!
+//! The parser is hand-rolled for this subset (attributes in double quotes,
+//! no entity support beyond the five predefined ones) to keep the crate
+//! dependency-free — see DESIGN.md §6.
+
+use crate::graph::{Workflow, WorkflowBuilder};
+use crate::task::StochasticWeight;
+use std::collections::HashMap;
+
+/// Errors raised while parsing a DAX document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DaxError {
+    /// Syntax error with a human-readable description.
+    Syntax(String),
+    /// A `<child>`/`<parent>` reference names an unknown job id.
+    UnknownJob(String),
+    /// The resulting graph is not a valid workflow.
+    Graph(String),
+}
+
+impl std::fmt::Display for DaxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaxError::Syntax(m) => write!(f, "DAX syntax error: {m}"),
+            DaxError::UnknownJob(id) => write!(f, "DAX references unknown job `{id}`"),
+            DaxError::Graph(m) => write!(f, "DAX graph invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DaxError {}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn xml_unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+/// Serialize a workflow as a DAX document. `reference_speed` converts
+/// weights (work units) into DAX runtimes (seconds): `runtime = w̄/speed`.
+pub fn to_dax(wf: &Workflow, reference_speed: f64) -> String {
+    assert!(reference_speed > 0.0, "reference speed must be positive");
+    use std::fmt::Write;
+    let mut s = String::with_capacity(256 * wf.task_count());
+    writeln!(s, r#"<?xml version="1.0" encoding="UTF-8"?>"#).unwrap();
+    writeln!(
+        s,
+        r#"<adag xmlns="http://pegasus.isi.edu/schema/DAX" version="2.1" name="{}" jobCount="{}">"#,
+        xml_escape(&wf.name),
+        wf.task_count()
+    )
+    .unwrap();
+    for t in wf.tasks() {
+        let runtime = t.weight.mean / reference_speed;
+        let sigma = t.weight.std_dev / reference_speed;
+        writeln!(
+            s,
+            r#"  <job id="ID{:05}" name="{}" runtime="{runtime:.6}" sigma="{sigma:.6}">"#,
+            t.id.0,
+            xml_escape(&t.name)
+        )
+        .unwrap();
+        if t.external_input > 0.0 {
+            writeln!(
+                s,
+                r#"    <uses file="ext_in_{}" link="input" size="{:.0}"/>"#,
+                t.id.0, t.external_input
+            )
+            .unwrap();
+        }
+        for &e in wf.in_edges(t.id) {
+            let edge = wf.edge(e);
+            writeln!(
+                s,
+                r#"    <uses file="d_{}_{}" link="input" size="{:.0}"/>"#,
+                edge.from.0, edge.to.0, edge.size
+            )
+            .unwrap();
+        }
+        for &e in wf.out_edges(t.id) {
+            let edge = wf.edge(e);
+            writeln!(
+                s,
+                r#"    <uses file="d_{}_{}" link="output" size="{:.0}"/>"#,
+                edge.from.0, edge.to.0, edge.size
+            )
+            .unwrap();
+        }
+        if t.external_output > 0.0 {
+            writeln!(
+                s,
+                r#"    <uses file="ext_out_{}" link="output" size="{:.0}"/>"#,
+                t.id.0, t.external_output
+            )
+            .unwrap();
+        }
+        writeln!(s, "  </job>").unwrap();
+    }
+    for t in wf.task_ids() {
+        let preds: Vec<_> = wf.predecessors(t).collect();
+        if preds.is_empty() {
+            continue;
+        }
+        writeln!(s, r#"  <child ref="ID{:05}">"#, t.0).unwrap();
+        for p in preds {
+            writeln!(s, r#"    <parent ref="ID{:05}"/>"#, p.0).unwrap();
+        }
+        writeln!(s, "  </child>").unwrap();
+    }
+    s.push_str("</adag>\n");
+    s
+}
+
+/// One parsed XML tag: name + attributes (self-closing flag unused by the
+/// builder but tracked for well-formedness of `<job>` blocks).
+struct Tag {
+    name: String,
+    attrs: HashMap<String, String>,
+    closing: bool,
+}
+
+/// Minimal tag scanner: yields tags in order, skipping text/comments/PIs.
+fn scan_tags(doc: &str) -> Result<Vec<Tag>, DaxError> {
+    let mut tags = Vec::new();
+    let bytes = doc.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        let rest = &doc[i..];
+        if rest.starts_with("<?") {
+            i += rest.find("?>").ok_or_else(|| syntax("unterminated <?"))? + 2;
+            continue;
+        }
+        if rest.starts_with("<!--") {
+            i += rest.find("-->").ok_or_else(|| syntax("unterminated comment"))? + 3;
+            continue;
+        }
+        let end = rest.find('>').ok_or_else(|| syntax("unterminated tag"))?;
+        let inner = &rest[1..end];
+        i += end + 1;
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Err(syntax("empty tag"));
+        }
+        let closing = inner.starts_with('/');
+        let body = inner.trim_start_matches('/').trim_end_matches('/').trim();
+        let (name, attr_str) = match body.find(char::is_whitespace) {
+            Some(p) => (&body[..p], &body[p..]),
+            None => (body, ""),
+        };
+        let mut attrs = HashMap::new();
+        let mut a = attr_str;
+        loop {
+            a = a.trim_start();
+            if a.is_empty() {
+                break;
+            }
+            let eq = match a.find('=') {
+                Some(p) => p,
+                None => break,
+            };
+            let key = a[..eq].trim().to_string();
+            let after = a[eq + 1..].trim_start();
+            if !after.starts_with('"') {
+                return Err(syntax(&format!("attribute `{key}` not quoted")));
+            }
+            let close = after[1..]
+                .find('"')
+                .ok_or_else(|| syntax(&format!("unterminated value for `{key}`")))?;
+            attrs.insert(key, xml_unescape(&after[1..1 + close]));
+            a = &after[close + 2..];
+        }
+        tags.push(Tag { name: name.to_string(), attrs, closing });
+    }
+    Ok(tags)
+}
+
+fn syntax(m: &str) -> DaxError {
+    DaxError::Syntax(m.to_string())
+}
+
+/// Parse a DAX document into a workflow. `reference_speed` converts
+/// runtimes back into work units.
+pub fn from_dax(doc: &str, reference_speed: f64) -> Result<Workflow, DaxError> {
+    assert!(reference_speed > 0.0, "reference speed must be positive");
+    let tags = scan_tags(doc)?;
+
+    struct Job {
+        name: String,
+        runtime: f64,
+        sigma: f64,
+        inputs: Vec<(String, f64)>,
+        outputs: Vec<(String, f64)>,
+    }
+
+    let mut adag_name = String::from("dax");
+    let mut jobs: Vec<(String, Job)> = Vec::new();
+    let mut deps: Vec<(String, String)> = Vec::new(); // (parent, child)
+    let mut current_child: Option<String> = None;
+    let mut in_job: Option<usize> = None;
+
+    for tag in &tags {
+        match (tag.name.as_str(), tag.closing) {
+            ("adag", false) => {
+                if let Some(n) = tag.attrs.get("name") {
+                    adag_name = n.clone();
+                }
+            }
+            ("job", false) => {
+                let id = tag
+                    .attrs
+                    .get("id")
+                    .ok_or_else(|| syntax("job without id"))?
+                    .clone();
+                let runtime: f64 = tag
+                    .attrs
+                    .get("runtime")
+                    .ok_or_else(|| syntax("job without runtime"))?
+                    .parse()
+                    .map_err(|_| syntax("bad runtime"))?;
+                let sigma: f64 = tag
+                    .attrs
+                    .get("sigma")
+                    .map(|s| s.parse().map_err(|_| syntax("bad sigma")))
+                    .transpose()?
+                    .unwrap_or(0.0);
+                let name = tag.attrs.get("name").cloned().unwrap_or_else(|| id.clone());
+                jobs.push((id, Job { name, runtime, sigma, inputs: vec![], outputs: vec![] }));
+                in_job = Some(jobs.len() - 1);
+            }
+            ("job", true) => in_job = None,
+            ("uses", false) => {
+                let Some(j) = in_job else {
+                    return Err(syntax("<uses> outside a <job>"));
+                };
+                let file = tag
+                    .attrs
+                    .get("file")
+                    .or_else(|| tag.attrs.get("name"))
+                    .ok_or_else(|| syntax("<uses> without file"))?
+                    .clone();
+                let size: f64 = tag
+                    .attrs
+                    .get("size")
+                    .map(|s| s.parse().map_err(|_| syntax("bad size")))
+                    .transpose()?
+                    .unwrap_or(0.0);
+                let link = tag.attrs.get("link").map(String::as_str).unwrap_or("input");
+                match link {
+                    "output" => jobs[j].1.outputs.push((file, size)),
+                    _ => jobs[j].1.inputs.push((file, size)),
+                }
+            }
+            ("child", false) => {
+                current_child = Some(
+                    tag.attrs
+                        .get("ref")
+                        .ok_or_else(|| syntax("<child> without ref"))?
+                        .clone(),
+                );
+            }
+            ("child", true) => current_child = None,
+            ("parent", false) => {
+                let child = current_child
+                    .clone()
+                    .ok_or_else(|| syntax("<parent> outside <child>"))?;
+                let parent = tag
+                    .attrs
+                    .get("ref")
+                    .ok_or_else(|| syntax("<parent> without ref"))?
+                    .clone();
+                deps.push((parent, child));
+            }
+            _ => {}
+        }
+    }
+
+    // Build the workflow: job order defines task ids.
+    let mut b = WorkflowBuilder::new(adag_name);
+    let mut id_of: HashMap<&str, crate::TaskId> = HashMap::new();
+    for (id, job) in &jobs {
+        let mean = (job.runtime * reference_speed).max(1e-9);
+        let sigma = (job.sigma * reference_speed).max(0.0);
+        let t = b.add_task(job.name.clone(), StochasticWeight::new(mean, sigma));
+        id_of.insert(id.as_str(), t);
+    }
+    // Edge sizes: files output by the parent and input by the child.
+    for (parent, child) in &deps {
+        let &pt = id_of
+            .get(parent.as_str())
+            .ok_or_else(|| DaxError::UnknownJob(parent.clone()))?;
+        let &ct = id_of
+            .get(child.as_str())
+            .ok_or_else(|| DaxError::UnknownJob(child.clone()))?;
+        let pj = &jobs.iter().find(|(i, _)| i == parent).expect("just resolved").1;
+        let cj = &jobs.iter().find(|(i, _)| i == child).expect("just resolved").1;
+        let size: f64 = pj
+            .outputs
+            .iter()
+            .filter(|(f, _)| cj.inputs.iter().any(|(g, _)| g == f))
+            .map(|(_, s)| s)
+            .sum();
+        b.add_edge(pt, ct, size).map_err(|e| DaxError::Graph(e.to_string()))?;
+    }
+    // External I/O: inputs no parent produces; outputs no child consumes.
+    for (idx, (_, job)) in jobs.iter().enumerate() {
+        let t = crate::TaskId(idx as u32);
+        let produced_elsewhere = |f: &str| {
+            jobs.iter().any(|(_, j)| j.outputs.iter().any(|(g, _)| g == f))
+        };
+        let consumed_elsewhere = |f: &str| {
+            jobs.iter().any(|(_, j)| j.inputs.iter().any(|(g, _)| g == f))
+        };
+        let ext_in: f64 = job
+            .inputs
+            .iter()
+            .filter(|(f, _)| !produced_elsewhere(f))
+            .map(|(_, s)| s)
+            .sum();
+        let ext_out: f64 = job
+            .outputs
+            .iter()
+            .filter(|(f, _)| !consumed_elsewhere(f))
+            .map(|(_, s)| s)
+            .sum();
+        if ext_in > 0.0 {
+            b.set_external_input(t, ext_in);
+        }
+        if ext_out > 0.0 {
+            b.set_external_output(t, ext_out);
+        }
+    }
+    b.build().map_err(|e| DaxError::Graph(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{cybershake, montage, GenConfig};
+
+    const SPEED: f64 = 10.0;
+
+    #[test]
+    fn roundtrip_preserves_structure_and_weights() {
+        for wf in [montage(GenConfig::new(30, 1)), cybershake(GenConfig::new(30, 2))] {
+            let dax = to_dax(&wf, SPEED);
+            let back = from_dax(&dax, SPEED).unwrap();
+            assert_eq!(back.task_count(), wf.task_count());
+            assert_eq!(back.edge_count(), wf.edge_count());
+            for (a, b) in wf.tasks().iter().zip(back.tasks()) {
+                assert_eq!(a.name, b.name);
+                assert!((a.weight.mean - b.weight.mean).abs() < 1e-3, "{}", a.name);
+                assert!((a.weight.std_dev - b.weight.std_dev).abs() < 1e-3);
+                assert!((a.external_input - b.external_input).abs() < 1.0);
+                assert!((a.external_output - b.external_output).abs() < 1.0);
+            }
+            // Same edge *set* with (approximately) the same sizes — the
+            // reader rebuilds edges grouped by child, so order may differ.
+            let canon = |w: &Workflow| {
+                let mut v: Vec<(u32, u32, i64)> =
+                    w.edges().iter().map(|e| (e.from.0, e.to.0, e.size.round() as i64)).collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(canon(&wf), canon(&back));
+        }
+    }
+
+    #[test]
+    fn parses_a_hand_written_pegasus_style_dax() {
+        let doc = r#"<?xml version="1.0" encoding="UTF-8"?>
+<!-- generated by hand -->
+<adag xmlns="http://pegasus.isi.edu/schema/DAX" name="mini" jobCount="3">
+  <job id="A" name="preprocess" runtime="10.0">
+    <uses file="raw.dat" link="input" size="1000000"/>
+    <uses file="mid.dat" link="output" size="500000"/>
+  </job>
+  <job id="B" name="analyze" runtime="20.0">
+    <uses file="mid.dat" link="input" size="500000"/>
+    <uses file="res.dat" link="output" size="1000"/>
+  </job>
+  <job id="C" name="archive" runtime="1.5">
+    <uses file="res.dat" link="input" size="1000"/>
+    <uses file="final.tgz" link="output" size="2000"/>
+  </job>
+  <child ref="B"><parent ref="A"/></child>
+  <child ref="C"><parent ref="B"/></child>
+</adag>"#;
+        let wf = from_dax(doc, SPEED).unwrap();
+        assert_eq!(wf.name, "mini");
+        assert_eq!(wf.task_count(), 3);
+        assert_eq!(wf.edge_count(), 2);
+        assert_eq!(wf.task(crate::TaskId(0)).name, "preprocess");
+        assert_eq!(wf.task(crate::TaskId(0)).weight.mean, 100.0); // 10 s × 10
+        assert_eq!(wf.task(crate::TaskId(0)).weight.std_dev, 0.0);
+        assert_eq!(wf.edges()[0].size, 500000.0);
+        assert_eq!(wf.task(crate::TaskId(0)).external_input, 1000000.0);
+        assert_eq!(wf.task(crate::TaskId(2)).external_output, 2000.0);
+    }
+
+    #[test]
+    fn unknown_ref_rejected() {
+        let doc = r#"<adag name="x">
+  <job id="A" name="a" runtime="1"/>
+  <child ref="B"><parent ref="A"/></child>
+</adag>"#;
+        assert_eq!(from_dax(doc, 1.0).unwrap_err(), DaxError::UnknownJob("B".into()));
+    }
+
+    #[test]
+    fn cyclic_dax_rejected() {
+        let doc = r#"<adag name="x">
+  <job id="A" name="a" runtime="1"/>
+  <job id="B" name="b" runtime="1"/>
+  <child ref="B"><parent ref="A"/></child>
+  <child ref="A"><parent ref="B"/></child>
+</adag>"#;
+        assert!(matches!(from_dax(doc, 1.0).unwrap_err(), DaxError::Graph(_)));
+    }
+
+    #[test]
+    fn malformed_xml_rejected() {
+        assert!(matches!(from_dax("<adag", 1.0), Err(DaxError::Syntax(_))));
+        assert!(matches!(
+            from_dax(r#"<adag name="x"><job id="A" runtime=bad/></adag>"#, 1.0),
+            Err(DaxError::Syntax(_))
+        ));
+        assert!(matches!(
+            from_dax(r#"<adag><uses file="f"/></adag>"#, 1.0),
+            Err(DaxError::Syntax(_))
+        ));
+        // No jobs at all -> empty workflow -> graph error.
+        assert!(matches!(from_dax(r#"<adag name="e"></adag>"#, 1.0), Err(DaxError::Graph(_))));
+    }
+
+    #[test]
+    fn escapes_survive_roundtrip() {
+        use crate::{StochasticWeight, WorkflowBuilder};
+        let mut b = WorkflowBuilder::new("name <with> \"specials\" & stuff");
+        b.add_task("task <1>", StochasticWeight::new(5.0, 1.0));
+        let wf = b.build().unwrap();
+        let back = from_dax(&to_dax(&wf, 1.0), 1.0).unwrap();
+        assert_eq!(back.name, wf.name);
+        assert_eq!(back.task(crate::TaskId(0)).name, "task <1>");
+    }
+
+    #[test]
+    fn comments_and_pis_are_skipped() {
+        let doc = r#"<?xml version="1.0"?>
+<!-- a comment with <job id="FAKE"> inside -->
+<adag name="c"><job id="A" name="a" runtime="2"/></adag>"#;
+        let wf = from_dax(doc, 1.0).unwrap();
+        assert_eq!(wf.task_count(), 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Graphviz DOT export for workflows (handy for eyeballing generated DAGs).
+
+use crate::graph::Workflow;
+
+/// Render the workflow as a Graphviz `digraph`. Node labels carry the task
+/// name and mean weight; edge labels carry the transferred megabytes.
+pub fn to_dot(wf: &Workflow) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(64 * wf.task_count());
+    writeln!(s, "digraph \"{}\" {{", wf.name).unwrap();
+    writeln!(s, "  rankdir=TB;").unwrap();
+    for t in wf.tasks() {
+        writeln!(
+            s,
+            "  {} [label=\"{}\\n{:.1} Gflop\"];",
+            t.id.0, t.name, t.weight.mean
+        )
+        .unwrap();
+    }
+    for e in wf.edges() {
+        writeln!(s, "  {} -> {} [label=\"{:.1} MB\"];", e.from.0, e.to.0, e.size / 1e6).unwrap();
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WorkflowBuilder;
+    use crate::task::StochasticWeight;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut b = WorkflowBuilder::new("tiny");
+        let a = b.add_task("prep", StochasticWeight::fixed(3.0));
+        let c = b.add_task("crunch", StochasticWeight::fixed(5.0));
+        b.add_edge(a, c, 2e6).unwrap();
+        let wf = b.build().unwrap();
+        let dot = to_dot(&wf);
+        assert!(dot.starts_with("digraph \"tiny\""));
+        assert!(dot.contains("prep"));
+        assert!(dot.contains("crunch"));
+        assert!(dot.contains("0 -> 1"));
+        assert!(dot.contains("2.0 MB"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,147 @@
+//! CYBERSHAKE generator: seismic hazard characterization.
+//!
+//! Structure (paper §V-A): "a first set of tasks generating data in parallel,
+//! data which will be used by a directly connected task (one calculating task
+//! per generating task). These parallel activities are all linked to two
+//! different agglomerative tasks. [...] half the tasks have huge input data."
+//!
+//! Shape implemented:
+//!
+//! ```text
+//!   ExtractSGT_1..g     (parallel; HUGE external inputs — SGT files)
+//!        |  1-to-1
+//!   SeismogramSynthesis_1..g   (huge input edges from their extractor)
+//!        |        \
+//!     ZipSeis    ZipPSA        (the two agglomerators; external outputs)
+//! ```
+
+use super::{jitter, GenConfig, MB};
+use crate::graph::{Workflow, WorkflowBuilder};
+use crate::task::StochasticWeight;
+
+/// Minimum number of tasks (1 pair + the 2 agglomerators).
+pub const CYBERSHAKE_MIN_TASKS: usize = 4;
+
+/// Generate a CYBERSHAKE workflow with exactly `cfg.tasks` tasks.
+///
+/// # Panics
+/// If `cfg.tasks < CYBERSHAKE_MIN_TASKS`.
+pub fn cybershake(cfg: GenConfig) -> Workflow {
+    assert!(
+        cfg.tasks >= CYBERSHAKE_MIN_TASKS,
+        "CYBERSHAKE needs at least {CYBERSHAKE_MIN_TASKS} tasks, got {}",
+        cfg.tasks
+    );
+    let mut rng = super::rng_for(&cfg, 0x43594245); // "CYBE"
+    let mut b = WorkflowBuilder::new(format!("CYBERSHAKE-{}-s{}", cfg.tasks, cfg.seed));
+
+    let free = cfg.tasks - 2;
+    let pairs = free / 2;
+    let stragglers = free - 2 * pairs; // 0 or 1 extra extractor
+
+    let wgt = |rng: &mut _, base: f64| {
+        StochasticWeight::new(jitter(rng, base, 0.2), 0.0).with_sigma_ratio(cfg.sigma_ratio)
+    };
+    // Huge SGT data: hundreds of MB flowing extractor → synthesis (the
+    // "huge input data" half of the task population). The SGT volumes are
+    // produced *within* the workflow; the boundary inputs (rupture
+    // descriptions) are modest.
+    let sgt = |rng: &mut _| jitter(rng, 250.0 * MB, 0.3);
+    let small = |rng: &mut _| jitter(rng, 1.0 * MB, 0.3);
+
+    let mut extractors = Vec::with_capacity(pairs + stragglers);
+    let mut syntheses = Vec::with_capacity(pairs);
+    for i in 0..pairs + stragglers {
+        let e = b.add_task(format!("ExtractSGT_{i}"), wgt(&mut rng, 1100.0));
+        b.set_external_input(e, jitter(&mut rng, 20.0 * MB, 0.3));
+        extractors.push(e);
+    }
+    for (i, &extractor) in extractors.iter().take(pairs).enumerate() {
+        let s = b.add_task(format!("SeismogramSynthesis_{i}"), wgt(&mut rng, 800.0));
+        syntheses.push(s);
+        b.add_edge(extractor, s, sgt(&mut rng)).unwrap();
+    }
+    let zip_seis = b.add_task("ZipSeis", wgt(&mut rng, 100.0));
+    let zip_psa = b.add_task("ZipPSA", wgt(&mut rng, 100.0));
+    b.set_external_output(zip_seis, jitter(&mut rng, 50.0 * MB, 0.2));
+    b.set_external_output(zip_psa, jitter(&mut rng, 20.0 * MB, 0.2));
+
+    for &s in &syntheses {
+        b.add_edge(s, zip_seis, jitter(&mut rng, 10.0 * MB, 0.3)).unwrap();
+        b.add_edge(s, zip_psa, small(&mut rng)).unwrap();
+    }
+    // A straggler extractor (odd task count) feeds the agglomerators
+    // directly so it still participates in the DAG.
+    for &e in &extractors[pairs..] {
+        b.add_edge(e, zip_seis, small(&mut rng)).unwrap();
+        b.add_edge(e, zip_psa, small(&mut rng)).unwrap();
+    }
+
+    let wf = b.build().expect("cybershake generator emits a valid DAG");
+    debug_assert_eq!(wf.task_count(), cfg.tasks);
+    wf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::levels;
+
+    #[test]
+    fn exact_task_count_even_and_odd() {
+        for n in [4, 5, 30, 31, 60, 90] {
+            assert_eq!(cybershake(GenConfig::new(n, 2)).task_count(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn too_small_rejected() {
+        cybershake(GenConfig::new(3, 1));
+    }
+
+    #[test]
+    fn two_agglomerators_are_the_exits() {
+        let wf = cybershake(GenConfig::new(30, 1));
+        let exits: Vec<_> = wf.exit_tasks().map(|t| wf.task(t).name.clone()).collect();
+        assert_eq!(exits.len(), 2);
+        assert!(exits.contains(&"ZipSeis".to_string()));
+        assert!(exits.contains(&"ZipPSA".to_string()));
+    }
+
+    #[test]
+    fn three_levels_parallel_structure() {
+        // extractors -> syntheses -> agglomerators.
+        let wf = cybershake(GenConfig::new(90, 1));
+        let lv = levels(&wf);
+        assert_eq!(lv.len(), 3);
+        assert_eq!(lv[0].len(), 44); // (90-2)/2 pairs, no straggler
+        assert_eq!(lv[2].len(), 2);
+    }
+
+    #[test]
+    fn half_the_tasks_have_huge_inputs() {
+        // Paper: "half the tasks have huge input data" — every synthesis
+        // reads >= 100 MB (one half of the generator/filter population).
+        let wf = cybershake(GenConfig::new(90, 1));
+        let huge = wf
+            .task_ids()
+            .filter(|&t| wf.pred_data_size(t) > 100.0 * MB)
+            .count();
+        let pairs = (wf.task_count() - 2) / 2;
+        // Every synthesis reads a huge SGT volume; the two agglomerators
+        // can also aggregate past 100 MB.
+        assert!((pairs..=pairs + 2).contains(&huge), "huge = {huge}, pairs = {pairs}");
+        assert!(huge as f64 >= 0.4 * wf.task_count() as f64);
+    }
+
+    #[test]
+    fn one_synthesis_per_extractor() {
+        let wf = cybershake(GenConfig::new(30, 1));
+        for t in wf.task_ids() {
+            if wf.task(t).name.starts_with("SeismogramSynthesis") {
+                assert_eq!(wf.predecessors(t).count(), 1);
+            }
+        }
+    }
+}

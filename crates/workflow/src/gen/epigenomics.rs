@@ -1,0 +1,126 @@
+//! EPIGENOMICS generator (extension beyond the paper's three benchmarks).
+//!
+//! The Pegasus Epigenomics workflow maps DNA methylation: several independent
+//! *lanes*, each a deep pipeline `fastQSplit -> {filterContams -> sol2sanger
+//! -> fast2bfq -> map}_per_chunk -> mapMerge`, all merging into a global
+//! `maqIndex -> pileup` tail. It stresses deep chains with mid-level
+//! parallelism — a shape none of the paper's three benchmarks covers, which
+//! makes it a useful extra workload for the harness.
+
+use super::{jitter, GenConfig, MB};
+use crate::graph::{Workflow, WorkflowBuilder};
+use crate::task::StochasticWeight;
+
+/// Minimum tasks: one lane with one chunk (1+4+1) plus the 2 tail tasks.
+pub const EPIGENOMICS_MIN_TASKS: usize = 8;
+
+/// Generate an EPIGENOMICS workflow with exactly `cfg.tasks` tasks.
+///
+/// # Panics
+/// If `cfg.tasks < EPIGENOMICS_MIN_TASKS`.
+pub fn epigenomics(cfg: GenConfig) -> Workflow {
+    assert!(
+        cfg.tasks >= EPIGENOMICS_MIN_TASKS,
+        "EPIGENOMICS needs at least {EPIGENOMICS_MIN_TASKS} tasks, got {}",
+        cfg.tasks
+    );
+    let mut rng = super::rng_for(&cfg, 0x45504947); // "EPIG"
+    let mut b = WorkflowBuilder::new(format!("EPIGENOMICS-{}-s{}", cfg.tasks, cfg.seed));
+
+    let wgt = |rng: &mut _, base: f64| {
+        StochasticWeight::new(jitter(rng, base, 0.2), 0.0).with_sigma_ratio(cfg.sigma_ratio)
+    };
+    let data = |rng: &mut _, base: f64| jitter(rng, base, 0.2);
+
+    // Budget: 2 tail tasks; lanes of (2 + 4*chunks) tasks each.
+    let free = cfg.tasks - 2;
+    // Prefer ~4 chunks per lane; each lane is 2 + 4*c tasks.
+    let lane_size = 2 + 4 * 4;
+    let lanes = (free / lane_size).max(1);
+    let mut remaining = free;
+
+    let maq_index = b.add_task("maqIndex", wgt(&mut rng, 400.0));
+    let pileup = b.add_task("pileup", wgt(&mut rng, 300.0));
+    b.add_edge(maq_index, pileup, data(&mut rng, 30.0 * MB)).unwrap();
+    b.set_external_output(pileup, data(&mut rng, 20.0 * MB));
+
+    for lane in 0..lanes {
+        let lanes_left = lanes - lane;
+        // Keep at least 6 tasks (1 chunk lane) for each later lane.
+        let avail = remaining - 6 * (lanes_left - 1);
+        let this = if lanes_left == 1 { avail } else { avail.min(lane_size).max(6) };
+        remaining -= this;
+        // this = 2 + 4c + extra, extra < 4 handled by widening one stage.
+        let chunks = (this - 2) / 4;
+        let extra = this - 2 - 4 * chunks;
+
+        let split = b.add_task(format!("fastQSplit_{lane}"), wgt(&mut rng, 150.0));
+        b.set_external_input(split, data(&mut rng, 100.0 * MB));
+        let merge = b.add_task(format!("mapMerge_{lane}"), wgt(&mut rng, 200.0));
+        for c in 0..chunks {
+            let filter = b.add_task(format!("filterContams_{lane}_{c}"), wgt(&mut rng, 120.0));
+            let sol = b.add_task(format!("sol2sanger_{lane}_{c}"), wgt(&mut rng, 60.0));
+            let bfq = b.add_task(format!("fast2bfq_{lane}_{c}"), wgt(&mut rng, 60.0));
+            let map = b.add_task(format!("map_{lane}_{c}"), wgt(&mut rng, 900.0));
+            b.add_edge(split, filter, data(&mut rng, 25.0 * MB)).unwrap();
+            b.add_edge(filter, sol, data(&mut rng, 25.0 * MB)).unwrap();
+            b.add_edge(sol, bfq, data(&mut rng, 20.0 * MB)).unwrap();
+            b.add_edge(bfq, map, data(&mut rng, 15.0 * MB)).unwrap();
+            b.add_edge(map, merge, data(&mut rng, 10.0 * MB)).unwrap();
+        }
+        // Spare tasks become extra map chunks hanging off the split directly.
+        for x in 0..extra {
+            let map = b.add_task(format!("map_{lane}_x{x}"), wgt(&mut rng, 900.0));
+            b.add_edge(split, map, data(&mut rng, 25.0 * MB)).unwrap();
+            b.add_edge(map, merge, data(&mut rng, 10.0 * MB)).unwrap();
+        }
+        b.add_edge(merge, maq_index, data(&mut rng, 30.0 * MB)).unwrap();
+    }
+    debug_assert_eq!(remaining, 0);
+
+    let wf = b.build().expect("epigenomics generator emits a valid DAG");
+    debug_assert_eq!(wf.task_count(), cfg.tasks);
+    wf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{levels, stats};
+
+    #[test]
+    fn exact_task_count_across_sizes() {
+        for n in [8, 9, 20, 30, 60, 90, 100] {
+            assert_eq!(epigenomics(GenConfig::new(n, 2)).task_count(), n, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn too_small_rejected() {
+        epigenomics(GenConfig::new(7, 1));
+    }
+
+    #[test]
+    fn deep_pipeline() {
+        // split -> filter -> sol -> bfq -> map -> merge -> maqIndex ->
+        // pileup = 8 levels.
+        let wf = epigenomics(GenConfig::new(90, 1));
+        assert_eq!(levels(&wf).len(), 8);
+    }
+
+    #[test]
+    fn single_exit_pileup() {
+        let wf = epigenomics(GenConfig::new(60, 1));
+        let exits: Vec<_> = wf.exit_tasks().collect();
+        assert_eq!(exits.len(), 1);
+        assert_eq!(wf.task(exits[0]).name, "pileup");
+    }
+
+    #[test]
+    fn deeper_than_cybershake() {
+        let e = stats(&epigenomics(GenConfig::new(90, 1)));
+        let c = stats(&super::super::cybershake(GenConfig::new(90, 1)));
+        assert!(e.depth > c.depth);
+    }
+}

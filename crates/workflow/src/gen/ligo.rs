@@ -1,0 +1,189 @@
+//! LIGO (Inspiral) generator: gravitational-wave template analysis.
+//!
+//! Structure (paper §V-A): "a lot of parallel tasks sharing a link to some
+//! agglomerative tasks, one agglomerative task per little set; this scheme
+//! repeats twice since there is a second subdivision after the first
+//! agglomeration". Also: "most input data have the same (large) size, only
+//! one of them is oversized compared with the others (by a ratio over 100)",
+//! and growing the task count "leads to an increasing number of independent
+//! short workflows" (near bag-of-tasks).
+//!
+//! Shape implemented — independent blocks, each:
+//!
+//! ```text
+//!   TmpltBank_1..g   (parallel, external inputs of uniform large size)
+//!        \ | /
+//!       Thinca_a     (agglomerator of the set)
+//!        / | \
+//!   TrigBank_1..g    (second parallel subdivision)
+//!        \ | /
+//!       Thinca_b     (second agglomerator; external output)
+//! ```
+
+use super::{jitter, GenConfig, MB};
+use crate::graph::{Workflow, WorkflowBuilder};
+use crate::task::{StochasticWeight, TaskId};
+
+/// Tasks per block: `2*LIGO_GROUP + 2`.
+const LIGO_GROUP: usize = 6;
+
+/// Minimum number of tasks (one block with groups of 1).
+pub const LIGO_MIN_TASKS: usize = 4;
+
+/// Generate a LIGO workflow with exactly `cfg.tasks` tasks.
+///
+/// # Panics
+/// If `cfg.tasks < LIGO_MIN_TASKS`.
+pub fn ligo(cfg: GenConfig) -> Workflow {
+    assert!(
+        cfg.tasks >= LIGO_MIN_TASKS,
+        "LIGO needs at least {LIGO_MIN_TASKS} tasks, got {}",
+        cfg.tasks
+    );
+    let mut rng = super::rng_for(&cfg, 0x4c49474f); // "LIGO"
+    let mut b = WorkflowBuilder::new(format!("LIGO-{}-s{}", cfg.tasks, cfg.seed));
+
+    let wgt = |rng: &mut _, base: f64| {
+        StochasticWeight::new(jitter(rng, base, 0.2), 0.0).with_sigma_ratio(cfg.sigma_ratio)
+    };
+
+    // Uniform large inputs, except exactly one oversized by a ratio > 100.
+    let base_input = 8.0 * MB;
+    let oversized_input = base_input * 120.0;
+
+    // Carve `cfg.tasks` into blocks of up to 2*LIGO_GROUP+2 tasks. Each block
+    // needs at least 4 tasks (1+1+1+1); distribute the remainder over the
+    // first blocks' parallel groups.
+    let block_size = 2 * LIGO_GROUP + 2;
+    let n_blocks = (cfg.tasks / block_size).max(1);
+    let mut remaining = cfg.tasks;
+    let mut entry_tasks: Vec<TaskId> = Vec::new();
+
+    for blk in 0..n_blocks {
+        let blocks_left = n_blocks - blk;
+        // Tasks available for this block, leaving >= 4 for each later block.
+        let avail = remaining - 4 * (blocks_left - 1);
+        let this = if blocks_left == 1 { avail } else { avail.min(block_size).max(4) };
+        remaining -= this;
+
+        // Split `this` into g1 templates, 1 agg, g2 trigbanks, 1 agg.
+        let par = this - 2;
+        let g1 = par.div_ceil(2);
+        let g2 = par - g1;
+
+        let templates: Vec<_> = (0..g1)
+            .map(|i| {
+                let t = b.add_task(format!("TmpltBank_{blk}_{i}"), wgt(&mut rng, 180.0));
+                entry_tasks.push(t);
+                t
+            })
+            .collect();
+        let agg1 = b.add_task(format!("Thinca1_{blk}"), wgt(&mut rng, 60.0));
+        for &t in &templates {
+            b.add_edge(t, agg1, jitter(&mut rng, base_input, 0.05)).unwrap();
+        }
+        let trigbanks: Vec<_> = (0..g2)
+            .map(|i| b.add_task(format!("TrigBank_{blk}_{i}"), wgt(&mut rng, 180.0)))
+            .collect();
+        let last = if g2 > 0 {
+            let agg2 = b.add_task(format!("Thinca2_{blk}"), wgt(&mut rng, 60.0));
+            for &t in &trigbanks {
+                b.add_edge(agg1, t, jitter(&mut rng, base_input, 0.05)).unwrap();
+                b.add_edge(t, agg2, jitter(&mut rng, base_input, 0.05)).unwrap();
+            }
+            agg2
+        } else {
+            // Degenerate tiny block: Thinca1 doubles as the exit; the spare
+            // task becomes one more template.
+            let t = b.add_task(format!("TmpltBank_{blk}_x"), wgt(&mut rng, 180.0));
+            entry_tasks.push(t);
+            b.add_edge(t, agg1, jitter(&mut rng, base_input, 0.05)).unwrap();
+            agg1
+        };
+        b.set_external_output(last, jitter(&mut rng, 5.0 * MB, 0.2));
+    }
+    debug_assert_eq!(remaining, 0);
+
+    // Uniform external inputs on every entry, one oversized (deterministic
+    // pick from the seeded RNG).
+    use rand::Rng;
+    let oversized_idx = rng.gen_range(0..entry_tasks.len());
+    for (i, &t) in entry_tasks.iter().enumerate() {
+        let size = if i == oversized_idx { oversized_input } else { jitter(&mut rng, base_input, 0.05) };
+        b.set_external_input(t, size);
+    }
+
+    let wf = b.build().expect("ligo generator emits a valid DAG");
+    debug_assert_eq!(wf.task_count(), cfg.tasks);
+    wf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{levels, stats};
+
+    #[test]
+    fn exact_task_count_across_sizes() {
+        for n in [4, 5, 14, 30, 60, 90, 91, 400] {
+            assert_eq!(ligo(GenConfig::new(n, 2)).task_count(), n, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn too_small_rejected() {
+        ligo(GenConfig::new(3, 1));
+    }
+
+    #[test]
+    fn has_one_oversized_input() {
+        let wf = ligo(GenConfig::new(90, 1));
+        let inputs: Vec<f64> = wf
+            .tasks()
+            .iter()
+            .filter(|t| t.external_input > 0.0)
+            .map(|t| t.external_input)
+            .collect();
+        let max = inputs.iter().cloned().fold(f64::MIN, f64::max);
+        let oversized = inputs.iter().filter(|&&s| s > max / 2.0).count();
+        assert_eq!(oversized, 1, "exactly one oversized input expected");
+        // Ratio over 100 vs the typical size.
+        let typical: f64 =
+            inputs.iter().filter(|&&s| s < max / 2.0).sum::<f64>() / (inputs.len() - 1) as f64;
+        assert!(max / typical > 100.0, "ratio {} too small", max / typical);
+    }
+
+    #[test]
+    fn grows_as_independent_blocks() {
+        // 90 tasks => 6 full blocks; the number of connected components
+        // (= number of exit Thinca2 with disjoint ancestry) grows with n.
+        let small = stats(&ligo(GenConfig::new(30, 1)));
+        let large = stats(&ligo(GenConfig::new(90, 1)));
+        assert!(large.exits > small.exits, "{} vs {}", large.exits, small.exits);
+    }
+
+    #[test]
+    fn four_levels_per_block() {
+        let wf = ligo(GenConfig::new(90, 1));
+        assert_eq!(levels(&wf).len(), 4);
+    }
+
+    #[test]
+    fn agglomerators_fan_in() {
+        let wf = ligo(GenConfig::new(90, 1));
+        for t in wf.task_ids() {
+            let name = &wf.task(t).name;
+            if name.starts_with("Thinca") {
+                assert!(wf.predecessors(t).count() >= 2, "{name} has a trivial fan-in");
+            }
+        }
+    }
+
+    #[test]
+    fn near_bag_of_tasks_density() {
+        // Edge density stays close to 1 edge per task (tree-ish blocks).
+        let s = stats(&ligo(GenConfig::new(90, 1)));
+        assert!(s.edges as f64 / s.tasks as f64 <= 1.3, "{s:?}");
+    }
+}

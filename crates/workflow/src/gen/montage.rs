@@ -1,0 +1,169 @@
+//! MONTAGE generator: the astronomy mosaicking pipeline.
+//!
+//! Structure (paper §V-A): "plenty highly inter-connected tasks, rendering
+//! parallelization less easy. The number of instructions of its different
+//! tasks is balanced, as is the size of the exchanged data."
+//!
+//! Shape implemented (following the Pegasus Montage DAG):
+//!
+//! ```text
+//!   mProjectPP_1..p      (parallel re-projections, external inputs)
+//!        |  \  crosswise
+//!   mDiffFit_1..d        (each reads TWO neighbouring projections)
+//!        \ ... /
+//!     mConcatFit         (agglomerates all diffs)
+//!          |
+//!      mBgModel
+//!      /   |   \         (fans out to every background task)
+//!   mBackground_1..p     (also reads its own projection: interconnection)
+//!      \   |   /
+//!      mImgtbl
+//!          |
+//!        mAdd -> mShrink -> mJPEG   (external output)
+//! ```
+
+use super::{jitter, GenConfig, MB};
+use crate::graph::{Workflow, WorkflowBuilder};
+use crate::task::StochasticWeight;
+
+/// Minimum number of tasks a MONTAGE instance needs (2 projections, 1 diff,
+/// the 6 tail tasks, 2 backgrounds).
+pub const MONTAGE_MIN_TASKS: usize = 11;
+
+/// Generate a MONTAGE workflow with exactly `cfg.tasks` tasks.
+///
+/// # Panics
+/// If `cfg.tasks < MONTAGE_MIN_TASKS`.
+pub fn montage(cfg: GenConfig) -> Workflow {
+    assert!(
+        cfg.tasks >= MONTAGE_MIN_TASKS,
+        "MONTAGE needs at least {MONTAGE_MIN_TASKS} tasks, got {}",
+        cfg.tasks
+    );
+    let mut rng = super::rng_for(&cfg, 0x4d4f4e54); // "MONT"
+    let mut b = WorkflowBuilder::new(format!("MONTAGE-{}-s{}", cfg.tasks, cfg.seed));
+
+    // 6 fixed tail tasks; remaining split into p projections, p backgrounds,
+    // and d = rest diffs (d >= p-1 so neighbouring pairs are covered).
+    let free = cfg.tasks - 6;
+    let p = (free / 3).max(2);
+    let d = free - 2 * p;
+    debug_assert!(d >= 1);
+
+    // Balanced weights (Gflop; ~5-30 s on the 10 Gflop/s reference VM) and
+    // balanced data (Montage FITS tiles are a few MB each).
+    let wgt = |rng: &mut _, base: f64| {
+        StochasticWeight::new(jitter(rng, base, 0.2), 0.0).with_sigma_ratio(cfg.sigma_ratio)
+    };
+    let fits = |rng: &mut _| jitter(rng, 4.0 * MB, 0.2);
+
+    let projections: Vec<_> = (0..p)
+        .map(|i| {
+            let t = b.add_task(format!("mProjectPP_{i}"), wgt(&mut rng, 100.0));
+            b.set_external_input(t, jitter(&mut rng, 4.0 * MB, 0.2));
+            t
+        })
+        .collect();
+
+    let diffs: Vec<_> =
+        (0..d).map(|i| b.add_task(format!("mDiffFit_{i}"), wgt(&mut rng, 50.0))).collect();
+
+    let concat = b.add_task("mConcatFit", wgt(&mut rng, 150.0));
+    let bgmodel = b.add_task("mBgModel", wgt(&mut rng, 200.0));
+
+    let backgrounds: Vec<_> =
+        (0..p).map(|i| b.add_task(format!("mBackground_{i}"), wgt(&mut rng, 100.0))).collect();
+
+    let imgtbl = b.add_task("mImgtbl", wgt(&mut rng, 80.0));
+    let add = b.add_task("mAdd", wgt(&mut rng, 300.0));
+    let shrink = b.add_task("mShrink", wgt(&mut rng, 100.0));
+    let jpeg = b.add_task("mJPEG", wgt(&mut rng, 50.0));
+    b.set_external_output(jpeg, jitter(&mut rng, 10.0 * MB, 0.2));
+
+    // Each diff reads two neighbouring projections (wrap around), producing
+    // the dense interconnection the paper highlights.
+    for (i, &diff) in diffs.iter().enumerate() {
+        let a = projections[i % p];
+        let c = projections[(i + 1) % p];
+        b.add_edge(a, diff, fits(&mut rng)).unwrap();
+        if c != a {
+            b.add_edge(c, diff, fits(&mut rng)).unwrap();
+        }
+        b.add_edge(diff, concat, fits(&mut rng) * 0.25).unwrap();
+    }
+    b.add_edge(concat, bgmodel, fits(&mut rng) * 0.25).unwrap();
+    for (i, &bg) in backgrounds.iter().enumerate() {
+        b.add_edge(bgmodel, bg, fits(&mut rng) * 0.1).unwrap();
+        b.add_edge(projections[i], bg, fits(&mut rng)).unwrap();
+        b.add_edge(bg, imgtbl, fits(&mut rng)).unwrap();
+    }
+    b.add_edge(imgtbl, add, fits(&mut rng)).unwrap();
+    b.add_edge(add, shrink, fits(&mut rng) * 2.0).unwrap();
+    b.add_edge(shrink, jpeg, fits(&mut rng)).unwrap();
+
+    let wf = b.build().expect("montage generator emits a valid DAG");
+    debug_assert_eq!(wf.task_count(), cfg.tasks);
+    wf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{levels, stats};
+
+    #[test]
+    fn exact_task_count_across_sizes() {
+        for n in [11, 30, 60, 90, 137, 400] {
+            assert_eq!(montage(GenConfig::new(n, 3)).task_count(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn too_small_rejected() {
+        montage(GenConfig::new(5, 1));
+    }
+
+    #[test]
+    fn single_exit_is_jpeg() {
+        let wf = montage(GenConfig::new(30, 1));
+        let exits: Vec<_> = wf.exit_tasks().collect();
+        assert_eq!(exits.len(), 1);
+        assert_eq!(wf.task(exits[0]).name, "mJPEG");
+        assert!(wf.task(exits[0]).external_output > 0.0);
+    }
+
+    #[test]
+    fn entries_are_projections() {
+        let wf = montage(GenConfig::new(30, 1));
+        for t in wf.entry_tasks() {
+            assert!(wf.task(t).name.starts_with("mProjectPP"));
+            assert!(wf.task(t).external_input > 0.0);
+        }
+    }
+
+    #[test]
+    fn depth_reflects_pipeline_stages() {
+        // projections -> diffs -> concat -> bgmodel -> background -> imgtbl
+        // -> add -> shrink -> jpeg = 9 levels.
+        let wf = montage(GenConfig::new(90, 1));
+        assert_eq!(levels(&wf).len(), 9);
+    }
+
+    #[test]
+    fn weights_are_balanced() {
+        // Paper: "the number of instructions of its different tasks is
+        // balanced" — max/min mean weight within a small factor.
+        let wf = montage(GenConfig::new(90, 1));
+        let means: Vec<f64> = wf.tasks().iter().map(|t| t.weight.mean).collect();
+        let max = means.iter().cloned().fold(f64::MIN, f64::max);
+        let min = means.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 12.0, "weight imbalance {max}/{min}");
+    }
+
+    #[test]
+    fn interconnection_density_is_high() {
+        let s = stats(&montage(GenConfig::new(90, 1)));
+        assert!(s.edges as f64 / s.tasks as f64 > 1.5, "{s:?}");
+    }
+}

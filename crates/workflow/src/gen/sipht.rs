@@ -1,0 +1,125 @@
+//! SIPHT generator (extension beyond the paper's three benchmarks).
+//!
+//! The Pegasus SIPHT workflow (sRNA identification) is wide and shallow
+//! with a distinctive asymmetric join: many independent `Patser` scans
+//! collapse into a `Patser_concate`, while a parallel group of BLAST-family
+//! tasks all feed a single `SRNA` hub that fans out to more BLASTs before
+//! the final `FindsRNA` annotation. Compared to CYBERSHAKE (pairs) and LIGO
+//! (blocks), SIPHT exercises hub-and-spoke joins with unbalanced weights.
+
+use super::{jitter, GenConfig, MB};
+use crate::graph::{Workflow, WorkflowBuilder};
+use crate::task::StochasticWeight;
+
+/// Minimum tasks: 1 patser + concate + srna + 1 pre-blast + 1 post-blast +
+/// findsrna.
+pub const SIPHT_MIN_TASKS: usize = 6;
+
+/// Generate a SIPHT workflow with exactly `cfg.tasks` tasks.
+///
+/// # Panics
+/// If `cfg.tasks < SIPHT_MIN_TASKS`.
+pub fn sipht(cfg: GenConfig) -> Workflow {
+    assert!(
+        cfg.tasks >= SIPHT_MIN_TASKS,
+        "SIPHT needs at least {SIPHT_MIN_TASKS} tasks, got {}",
+        cfg.tasks
+    );
+    let mut rng = super::rng_for(&cfg, 0x53495048); // "SIPH"
+    let mut b = WorkflowBuilder::new(format!("SIPHT-{}-s{}", cfg.tasks, cfg.seed));
+
+    let wgt = |rng: &mut _, base: f64| {
+        StochasticWeight::new(jitter(rng, base, 0.25), 0.0).with_sigma_ratio(cfg.sigma_ratio)
+    };
+    let data = |rng: &mut _, base: f64| jitter(rng, base, 0.25);
+
+    // Fixed hubs: Patser_concate, SRNA, FindsRNA. The rest splits into
+    // patser scans (~40 %), pre-SRNA blasts (~30 %), post-SRNA blasts.
+    let free = cfg.tasks - 3;
+    let patsers_n = (free * 2 / 5).max(1);
+    let pre_n = (free * 3 / 10).max(1);
+    let post_n = free - patsers_n - pre_n;
+    debug_assert!(post_n >= 1);
+
+    let concate = b.add_task("Patser_concate", wgt(&mut rng, 40.0));
+    let srna = b.add_task("SRNA", wgt(&mut rng, 2500.0)); // the heavy hub
+    let find = b.add_task("FindsRNA", wgt(&mut rng, 300.0));
+    b.set_external_output(find, data(&mut rng, 5.0 * MB));
+
+    for i in 0..patsers_n {
+        let t = b.add_task(format!("Patser_{i}"), wgt(&mut rng, 50.0));
+        b.set_external_input(t, data(&mut rng, 2.0 * MB));
+        b.add_edge(t, concate, data(&mut rng, 0.5 * MB)).unwrap();
+    }
+    b.add_edge(concate, find, data(&mut rng, 1.0 * MB)).unwrap();
+
+    for i in 0..pre_n {
+        let t = b.add_task(format!("Blast_pre_{i}"), wgt(&mut rng, 900.0));
+        b.set_external_input(t, data(&mut rng, 10.0 * MB));
+        b.add_edge(t, srna, data(&mut rng, 3.0 * MB)).unwrap();
+    }
+    for i in 0..post_n {
+        let t = b.add_task(format!("Blast_post_{i}"), wgt(&mut rng, 700.0));
+        b.add_edge(srna, t, data(&mut rng, 3.0 * MB)).unwrap();
+        b.add_edge(t, find, data(&mut rng, 1.0 * MB)).unwrap();
+    }
+
+    let wf = b.build().expect("sipht generator emits a valid DAG");
+    debug_assert_eq!(wf.task_count(), cfg.tasks);
+    wf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::stats;
+
+    #[test]
+    fn exact_task_count_across_sizes() {
+        for n in [6, 7, 20, 30, 60, 90, 97] {
+            assert_eq!(sipht(GenConfig::new(n, 2)).task_count(), n, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn too_small_rejected() {
+        sipht(GenConfig::new(5, 1));
+    }
+
+    #[test]
+    fn single_exit_findsrna() {
+        let wf = sipht(GenConfig::new(60, 1));
+        let exits: Vec<_> = wf.exit_tasks().collect();
+        assert_eq!(exits.len(), 1);
+        assert_eq!(wf.task(exits[0]).name, "FindsRNA");
+    }
+
+    #[test]
+    fn srna_hub_has_large_fan_in_and_out() {
+        let wf = sipht(GenConfig::new(90, 1));
+        let srna = wf
+            .task_ids()
+            .find(|&t| wf.task(t).name == "SRNA")
+            .expect("SRNA exists");
+        assert!(wf.predecessors(srna).count() >= 5);
+        assert!(wf.successors(srna).count() >= 5);
+    }
+
+    #[test]
+    fn weights_are_unbalanced() {
+        // Unlike MONTAGE, SIPHT mixes light scans with a heavy hub.
+        let wf = sipht(GenConfig::new(60, 1));
+        let means: Vec<f64> = wf.tasks().iter().map(|t| t.weight.mean).collect();
+        let max = means.iter().cloned().fold(f64::MIN, f64::max);
+        let min = means.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min > 20.0, "max/min = {}", max / min);
+    }
+
+    #[test]
+    fn shallow_and_wide() {
+        let s = stats(&sipht(GenConfig::new(90, 1)));
+        assert!(s.depth <= 4, "{s:?}");
+        assert!(s.width > s.depth * 5, "{s:?}");
+    }
+}

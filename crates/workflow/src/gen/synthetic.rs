@@ -1,0 +1,184 @@
+//! Synthetic DAG shapes: chains, fork-joins, bags of tasks, and random
+//! layered DAGs. Used heavily in unit/property tests and available to users
+//! who want controlled structures.
+
+use super::{jitter, GenConfig, MB};
+use crate::graph::{Workflow, WorkflowBuilder};
+use crate::task::StochasticWeight;
+use rand::Rng;
+
+/// A pure chain `t0 -> t1 -> ... -> t(n-1)` of `n` tasks of `work` Gflop
+/// each, with `data` bytes on every edge.
+pub fn chain(n: usize, work: f64, data: f64) -> Workflow {
+    assert!(n >= 1, "chain needs at least one task");
+    let mut b = WorkflowBuilder::new(format!("chain-{n}"));
+    let mut prev = b.add_task("t0", StochasticWeight::fixed(work));
+    b.set_external_input(prev, data);
+    for i in 1..n {
+        let t = b.add_task(format!("t{i}"), StochasticWeight::fixed(work));
+        b.add_edge(prev, t, data).unwrap();
+        prev = t;
+    }
+    b.set_external_output(prev, data);
+    b.build().expect("chain is a valid DAG")
+}
+
+/// A fork-join: `source -> {b_1..b_width} -> sink` (`width + 2` tasks).
+pub fn fork_join(width: usize, work: f64, data: f64) -> Workflow {
+    assert!(width >= 1, "fork_join needs at least one branch");
+    let mut b = WorkflowBuilder::new(format!("forkjoin-{width}"));
+    let src = b.add_task("source", StochasticWeight::fixed(work));
+    b.set_external_input(src, data);
+    let sink_weight = StochasticWeight::fixed(work);
+    let branches: Vec<_> = (0..width)
+        .map(|i| b.add_task(format!("b{i}"), StochasticWeight::fixed(work)))
+        .collect();
+    let sink = b.add_task("sink", sink_weight);
+    b.set_external_output(sink, data);
+    for &t in &branches {
+        b.add_edge(src, t, data).unwrap();
+        b.add_edge(t, sink, data).unwrap();
+    }
+    b.build().expect("fork_join is a valid DAG")
+}
+
+/// `n` fully independent tasks (no edges) — the degenerate shape LIGO tends
+/// towards in the paper's analysis.
+pub fn bag_of_tasks(n: usize, work: f64, io: f64) -> Workflow {
+    assert!(n >= 1, "bag_of_tasks needs at least one task");
+    let mut b = WorkflowBuilder::new(format!("bag-{n}"));
+    for i in 0..n {
+        let t = b.add_task(format!("t{i}"), StochasticWeight::fixed(work));
+        b.set_external_input(t, io);
+        b.set_external_output(t, io);
+    }
+    b.build().expect("bag is a valid DAG")
+}
+
+/// Parameters for [`layered_random`].
+#[derive(Debug, Clone, Copy)]
+pub struct LayeredParams {
+    /// Number of layers (>= 1).
+    pub layers: usize,
+    /// Tasks per layer (>= 1).
+    pub width: usize,
+    /// Probability of an edge between consecutive-layer task pairs.
+    pub edge_prob: f64,
+    /// Mean task work in Gflop (jittered ±30 %).
+    pub work: f64,
+    /// Mean edge data in bytes (jittered ±30 %).
+    pub data: f64,
+}
+
+impl Default for LayeredParams {
+    fn default() -> Self {
+        Self { layers: 4, width: 5, edge_prob: 0.35, work: 100.0, data: 5.0 * MB }
+    }
+}
+
+/// A random layered DAG: `layers × width` tasks; each task gets at least one
+/// predecessor in the previous layer (so layers are honest), plus extra
+/// random edges with probability `edge_prob`.
+pub fn layered_random(params: LayeredParams, cfg: GenConfig) -> Workflow {
+    assert!(params.layers >= 1 && params.width >= 1);
+    let mut rng = super::rng_for(&cfg, 0x4c415952); // "LAYR"
+    let mut b = WorkflowBuilder::new(format!(
+        "layered-{}x{}-s{}",
+        params.layers, params.width, cfg.seed
+    ));
+    let mut layers: Vec<Vec<_>> = Vec::with_capacity(params.layers);
+    for l in 0..params.layers {
+        let layer: Vec<_> = (0..params.width)
+            .map(|i| {
+                let w = StochasticWeight::new(jitter(&mut rng, params.work, 0.3), 0.0)
+                    .with_sigma_ratio(cfg.sigma_ratio);
+                b.add_task(format!("t{l}_{i}"), w)
+            })
+            .collect();
+        if l > 0 {
+            for &t in &layer {
+                let prev = &layers[l - 1];
+                // Guarantee one predecessor, then sprinkle extras.
+                let forced = prev[rng.gen_range(0..prev.len())];
+                b.add_edge(forced, t, jitter(&mut rng, params.data, 0.3)).unwrap();
+                for &p in prev {
+                    if p != forced && rng.gen_bool(params.edge_prob) {
+                        b.add_edge(p, t, jitter(&mut rng, params.data, 0.3)).unwrap();
+                    }
+                }
+            }
+        }
+        layers.push(layer);
+    }
+    for &t in &layers[0] {
+        b.set_external_input(t, jitter(&mut rng, params.data, 0.3));
+    }
+    for &t in layers.last().expect("layers >= 1") {
+        b.set_external_output(t, jitter(&mut rng, params.data, 0.3));
+    }
+    b.build().expect("layered_random emits a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{levels, stats};
+
+    #[test]
+    fn chain_shape() {
+        let wf = chain(5, 10.0, 1.0 * MB);
+        assert_eq!(wf.task_count(), 5);
+        assert_eq!(wf.edge_count(), 4);
+        assert_eq!(stats(&wf).width, 1);
+        assert_eq!(stats(&wf).depth, 5);
+    }
+
+    #[test]
+    fn single_task_chain() {
+        let wf = chain(1, 10.0, MB);
+        assert_eq!(wf.task_count(), 1);
+        assert_eq!(wf.edge_count(), 0);
+        assert!(wf.external_input_data() > 0.0);
+        assert!(wf.external_output_data() > 0.0);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let wf = fork_join(8, 10.0, MB);
+        assert_eq!(wf.task_count(), 10);
+        assert_eq!(wf.edge_count(), 16);
+        let lv = levels(&wf);
+        assert_eq!(lv.len(), 3);
+        assert_eq!(lv[1].len(), 8);
+    }
+
+    #[test]
+    fn bag_has_no_edges() {
+        let wf = bag_of_tasks(12, 50.0, MB);
+        assert_eq!(wf.task_count(), 12);
+        assert_eq!(wf.edge_count(), 0);
+        assert_eq!(wf.entry_tasks().count(), 12);
+        assert_eq!(wf.exit_tasks().count(), 12);
+    }
+
+    #[test]
+    fn layered_random_every_task_connected() {
+        let wf = layered_random(LayeredParams::default(), GenConfig::new(0, 5));
+        // Every non-entry task has >= 1 predecessor by construction.
+        for t in wf.task_ids() {
+            let is_first_layer = wf.task(t).name.starts_with("t0_");
+            if !is_first_layer {
+                assert!(wf.predecessors(t).count() >= 1, "{} orphaned", wf.task(t).name);
+            }
+        }
+        assert_eq!(levels(&wf).len(), 4);
+    }
+
+    #[test]
+    fn layered_random_deterministic() {
+        let p = LayeredParams::default();
+        let a = layered_random(p, GenConfig::new(0, 9));
+        let b = layered_random(p, GenConfig::new(0, 9));
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

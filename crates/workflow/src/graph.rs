@@ -1,0 +1,476 @@
+//! The workflow DAG: tasks, data dependencies, and structural queries.
+
+use crate::task::{StochasticWeight, Task, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Index of an edge inside a [`Workflow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A data dependency `(T_i, T_j)`: `to` may start only after `from` completed
+/// and `size` bytes produced by `from` are available on the host of `to`
+/// (paper §III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Producer task.
+    pub from: TaskId,
+    /// Consumer task.
+    pub to: TaskId,
+    /// Bytes transferred, `size(d_{T_i,T_j})`.
+    pub size: f64,
+}
+
+/// Errors raised while building or validating a workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkflowError {
+    /// An edge references a task id that does not exist.
+    UnknownTask(TaskId),
+    /// An edge connects a task to itself.
+    SelfLoop(TaskId),
+    /// The dependency graph contains a cycle (so it is not a DAG).
+    Cycle,
+    /// The same (from, to) pair was added twice.
+    DuplicateEdge(TaskId, TaskId),
+    /// The workflow has no tasks.
+    Empty,
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::UnknownTask(t) => write!(f, "edge references unknown task {t}"),
+            WorkflowError::SelfLoop(t) => write!(f, "self-loop on task {t}"),
+            WorkflowError::Cycle => write!(f, "dependency graph contains a cycle"),
+            WorkflowError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            WorkflowError::Empty => write!(f, "workflow has no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+/// A scientific workflow: a DAG `G = (V, E)` of tasks with stochastic
+/// weights and data-transfer edges (paper §III-A).
+///
+/// Construction goes through [`WorkflowBuilder`], which validates acyclicity;
+/// a `Workflow` is therefore always a well-formed non-empty DAG.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Workflow {
+    /// Workflow name (e.g. `MONTAGE-90-i2`).
+    pub name: String,
+    tasks: Vec<Task>,
+    edges: Vec<Edge>,
+    /// Per task: incoming edge ids (predecessors).
+    preds: Vec<Vec<EdgeId>>,
+    /// Per task: outgoing edge ids (successors).
+    succs: Vec<Vec<EdgeId>>,
+    /// A fixed topological order of the task ids.
+    topo: Vec<TaskId>,
+}
+
+impl Workflow {
+    /// Number of tasks `n`.
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of dependency edges `e`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All tasks, indexed by `TaskId`.
+    #[inline]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// All edges, indexed by `EdgeId`.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The task with the given id.
+    #[inline]
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// The edge with the given id.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Ids of all tasks in insertion order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len() as u32).map(TaskId)
+    }
+
+    /// Incoming edges of `t` (one per predecessor).
+    #[inline]
+    pub fn in_edges(&self, t: TaskId) -> &[EdgeId] {
+        &self.preds[t.index()]
+    }
+
+    /// Outgoing edges of `t` (one per successor).
+    #[inline]
+    pub fn out_edges(&self, t: TaskId) -> &[EdgeId] {
+        &self.succs[t.index()]
+    }
+
+    /// Predecessor task ids of `t`.
+    pub fn predecessors(&self, t: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.preds[t.index()].iter().map(|&e| self.edges[e.index()].from)
+    }
+
+    /// Successor task ids of `t`.
+    pub fn successors(&self, t: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.succs[t.index()].iter().map(|&e| self.edges[e.index()].to)
+    }
+
+    /// Tasks with no predecessors.
+    pub fn entry_tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.task_ids().filter(|&t| self.preds[t.index()].is_empty())
+    }
+
+    /// Tasks with no successors.
+    pub fn exit_tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.task_ids().filter(|&t| self.succs[t.index()].is_empty())
+    }
+
+    /// A topological order of the tasks (fixed at construction; Kahn order
+    /// with FIFO tie-breaking, so it is deterministic).
+    #[inline]
+    pub fn topological_order(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// Total volume of input data of `t` from all its predecessors,
+    /// `size(d_pred,T)` (paper Eq. 6).
+    pub fn pred_data_size(&self, t: TaskId) -> f64 {
+        self.preds[t.index()].iter().map(|&e| self.edges[e.index()].size).sum()
+    }
+
+    /// Total volume of data within the workflow, `d_max = Σ size(d_{T',T})`.
+    pub fn total_edge_data(&self) -> f64 {
+        self.edges.iter().map(|e| e.size).sum()
+    }
+
+    /// Sum of conservative task weights `Σ (w̄_i + σ_i)` — the `W_max`
+    /// aggregate used when sizing the whole-workflow budget (paper Eq. 5).
+    pub fn total_conservative_work(&self) -> f64 {
+        self.tasks.iter().map(|t| t.weight.conservative()).sum()
+    }
+
+    /// Sum of mean task weights `Σ w̄_i`.
+    pub fn total_mean_work(&self) -> f64 {
+        self.tasks.iter().map(|t| t.weight.mean).sum()
+    }
+
+    /// `size(d_in,DC)`: bytes entering the platform from the outside world.
+    pub fn external_input_data(&self) -> f64 {
+        self.tasks.iter().map(|t| t.external_input).sum()
+    }
+
+    /// `size(d_DC,out)`: bytes leaving the platform to the outside world.
+    pub fn external_output_data(&self) -> f64 {
+        self.tasks.iter().map(|t| t.external_output).sum()
+    }
+
+    /// Rescale every task's standard deviation to `ratio * mean` (the paper
+    /// derives 4 stochastic variants of each benchmark DAG this way, §V-A).
+    pub fn with_sigma_ratio(mut self, ratio: f64) -> Self {
+        for t in &mut self.tasks {
+            t.weight = t.weight.with_sigma_ratio(ratio);
+        }
+        self
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("workflow serialization cannot fail")
+    }
+
+    /// Deserialize from JSON produced by [`Workflow::to_json`], re-validating
+    /// the DAG structure.
+    pub fn from_json(s: &str) -> Result<Self, Box<dyn std::error::Error>> {
+        let wf: Workflow = serde_json::from_str(s)?;
+        // Re-build through the builder so hand-edited files cannot smuggle in
+        // cycles or dangling edges.
+        let mut b = WorkflowBuilder::new(&wf.name);
+        for t in &wf.tasks {
+            let id = b.add_task_full(t.clone());
+            debug_assert_eq!(id, t.id);
+        }
+        for e in &wf.edges {
+            b.add_edge(e.from, e.to, e.size)?;
+        }
+        Ok(b.build()?)
+    }
+}
+
+/// Incremental builder for [`Workflow`], validating as it goes.
+#[derive(Debug, Clone)]
+pub struct WorkflowBuilder {
+    name: String,
+    tasks: Vec<Task>,
+    edges: Vec<Edge>,
+    seen_pairs: std::collections::HashSet<(u32, u32)>,
+}
+
+impl WorkflowBuilder {
+    /// Start building a workflow with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            tasks: Vec::new(),
+            edges: Vec::new(),
+            seen_pairs: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Add a task; its id is assigned densely in insertion order.
+    pub fn add_task(&mut self, name: impl Into<String>, weight: StochasticWeight) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(Task::new(id, name, weight));
+        id
+    }
+
+    /// Add a pre-constructed task, overwriting its id with the next dense id.
+    pub fn add_task_full(&mut self, mut task: Task) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        task.id = id;
+        self.tasks.push(task);
+        id
+    }
+
+    /// Declare external input bytes for an entry task (`d_in,DC`).
+    pub fn set_external_input(&mut self, t: TaskId, bytes: f64) {
+        self.tasks[t.index()].external_input = bytes;
+    }
+
+    /// Declare external output bytes for an exit task (`d_DC,out`).
+    pub fn set_external_output(&mut self, t: TaskId, bytes: f64) {
+        self.tasks[t.index()].external_output = bytes;
+    }
+
+    /// Add a dependency edge carrying `size` bytes.
+    pub fn add_edge(&mut self, from: TaskId, to: TaskId, size: f64) -> Result<EdgeId, WorkflowError> {
+        let n = self.tasks.len() as u32;
+        if from.0 >= n {
+            return Err(WorkflowError::UnknownTask(from));
+        }
+        if to.0 >= n {
+            return Err(WorkflowError::UnknownTask(to));
+        }
+        if from == to {
+            return Err(WorkflowError::SelfLoop(from));
+        }
+        if !self.seen_pairs.insert((from.0, to.0)) {
+            return Err(WorkflowError::DuplicateEdge(from, to));
+        }
+        assert!(size.is_finite() && size >= 0.0, "edge data size must be non-negative");
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { from, to, size });
+        Ok(id)
+    }
+
+    /// Number of tasks added so far.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Finish: verifies the graph is a non-empty DAG and computes the
+    /// adjacency and a topological order.
+    pub fn build(self) -> Result<Workflow, WorkflowError> {
+        if self.tasks.is_empty() {
+            return Err(WorkflowError::Empty);
+        }
+        let n = self.tasks.len();
+        let mut preds: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        for (i, e) in self.edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            succs[e.from.index()].push(id);
+            preds[e.to.index()].push(id);
+        }
+        // Kahn's algorithm with a FIFO queue: deterministic topological order.
+        let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+        let mut queue: std::collections::VecDeque<TaskId> = (0..n as u32)
+            .map(TaskId)
+            .filter(|t| indeg[t.index()] == 0)
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(t) = queue.pop_front() {
+            topo.push(t);
+            for &e in &succs[t.index()] {
+                let v = self.edges[e.index()].to;
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(WorkflowError::Cycle);
+        }
+        Ok(Workflow { name: self.name, tasks: self.tasks, edges: self.edges, preds, succs, topo })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(mean: f64) -> StochasticWeight {
+        StochasticWeight::fixed(mean)
+    }
+
+    /// Small diamond: a -> {b, c} -> d.
+    fn diamond() -> Workflow {
+        let mut b = WorkflowBuilder::new("diamond");
+        let a = b.add_task("a", w(1.0));
+        let t1 = b.add_task("b", w(2.0));
+        let t2 = b.add_task("c", w(3.0));
+        let d = b.add_task("d", w(4.0));
+        b.add_edge(a, t1, 10.0).unwrap();
+        b.add_edge(a, t2, 20.0).unwrap();
+        b.add_edge(t1, d, 30.0).unwrap();
+        b.add_edge(t2, d, 40.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let wf = diamond();
+        assert_eq!(wf.task_count(), 4);
+        assert_eq!(wf.edge_count(), 4);
+        assert_eq!(wf.entry_tasks().collect::<Vec<_>>(), vec![TaskId(0)]);
+        assert_eq!(wf.exit_tasks().collect::<Vec<_>>(), vec![TaskId(3)]);
+        assert_eq!(wf.predecessors(TaskId(3)).collect::<Vec<_>>(), vec![TaskId(1), TaskId(2)]);
+        assert_eq!(wf.successors(TaskId(0)).collect::<Vec<_>>(), vec![TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let wf = diamond();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; wf.task_count()];
+            for (i, t) in wf.topological_order().iter().enumerate() {
+                pos[t.index()] = i;
+            }
+            pos
+        };
+        for e in wf.edges() {
+            assert!(pos[e.from.index()] < pos[e.to.index()], "edge {e:?} violated");
+        }
+    }
+
+    #[test]
+    fn pred_data_size_sums_incoming() {
+        let wf = diamond();
+        assert_eq!(wf.pred_data_size(TaskId(3)), 70.0);
+        assert_eq!(wf.pred_data_size(TaskId(0)), 0.0);
+        assert_eq!(wf.total_edge_data(), 100.0);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut b = WorkflowBuilder::new("cyc");
+        let a = b.add_task("a", w(1.0));
+        let c = b.add_task("b", w(1.0));
+        b.add_edge(a, c, 0.0).unwrap();
+        b.add_edge(c, a, 0.0).unwrap();
+        assert_eq!(b.build().unwrap_err(), WorkflowError::Cycle);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = WorkflowBuilder::new("x");
+        let a = b.add_task("a", w(1.0));
+        assert_eq!(b.add_edge(a, a, 0.0).unwrap_err(), WorkflowError::SelfLoop(a));
+    }
+
+    #[test]
+    fn unknown_task_rejected() {
+        let mut b = WorkflowBuilder::new("x");
+        let a = b.add_task("a", w(1.0));
+        let ghost = TaskId(42);
+        assert_eq!(b.add_edge(a, ghost, 0.0).unwrap_err(), WorkflowError::UnknownTask(ghost));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut b = WorkflowBuilder::new("x");
+        let a = b.add_task("a", w(1.0));
+        let c = b.add_task("b", w(1.0));
+        b.add_edge(a, c, 1.0).unwrap();
+        assert_eq!(b.add_edge(a, c, 2.0).unwrap_err(), WorkflowError::DuplicateEdge(a, c));
+    }
+
+    #[test]
+    fn empty_workflow_rejected() {
+        assert_eq!(WorkflowBuilder::new("e").build().unwrap_err(), WorkflowError::Empty);
+    }
+
+    #[test]
+    fn external_io_sums() {
+        let mut b = WorkflowBuilder::new("io");
+        let a = b.add_task("a", w(1.0));
+        let c = b.add_task("b", w(1.0));
+        b.add_edge(a, c, 5.0).unwrap();
+        b.set_external_input(a, 100.0);
+        b.set_external_output(c, 200.0);
+        let wf = b.build().unwrap();
+        assert_eq!(wf.external_input_data(), 100.0);
+        assert_eq!(wf.external_output_data(), 200.0);
+    }
+
+    #[test]
+    fn sigma_ratio_applies_to_all_tasks() {
+        let wf = diamond().with_sigma_ratio(0.25);
+        for t in wf.tasks() {
+            assert_eq!(t.weight.std_dev, t.weight.mean * 0.25);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_structure() {
+        let wf = diamond();
+        let back = Workflow::from_json(&wf.to_json()).unwrap();
+        assert_eq!(back.task_count(), wf.task_count());
+        assert_eq!(back.edge_count(), wf.edge_count());
+        assert_eq!(back.topological_order(), wf.topological_order());
+    }
+
+    #[test]
+    fn json_with_cycle_rejected() {
+        // Hand-craft a JSON blob whose edge list forms a cycle.
+        let wf = diamond();
+        let mut json: serde_json::Value = serde_json::from_str(&wf.to_json()).unwrap();
+        json["edges"]
+            .as_array_mut()
+            .unwrap()
+            .push(serde_json::json!({"from": 3, "to": 0, "size": 1.0}));
+        assert!(Workflow::from_json(&json.to_string()).is_err());
+    }
+
+    #[test]
+    fn total_work_aggregates() {
+        let wf = diamond().with_sigma_ratio(1.0);
+        assert_eq!(wf.total_mean_work(), 10.0);
+        assert_eq!(wf.total_conservative_work(), 20.0);
+    }
+}

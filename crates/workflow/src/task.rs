@@ -1,0 +1,147 @@
+//! Tasks and their stochastic weights.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a task inside a [`crate::Workflow`].
+///
+/// `TaskId`s are dense: a workflow with `n` tasks uses ids `0..n`, so they
+/// double as indices into per-task vectors kept by schedulers and simulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// The stochastic weight of a task: the number of instructions it executes,
+/// modelled as a Gaussian `N(mean, std_dev)` (paper §III-A).
+///
+/// Weights are expressed in abstract work units (we use Gflop); dividing by a
+/// VM speed (work units per second) yields an execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StochasticWeight {
+    /// Mean number of instructions `w̄` (> 0).
+    pub mean: f64,
+    /// Standard deviation `σ` (>= 0).
+    pub std_dev: f64,
+}
+
+impl StochasticWeight {
+    /// A new stochastic weight. Panics if `mean <= 0` or `std_dev < 0` or
+    /// either is non-finite — weights are produced by generators, so a bad
+    /// value is a programming error, not an input error.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "task weight mean must be positive, got {mean}");
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "task weight std dev must be non-negative, got {std_dev}"
+        );
+        Self { mean, std_dev }
+    }
+
+    /// A deterministic weight (σ = 0).
+    pub fn fixed(mean: f64) -> Self {
+        Self::new(mean, 0.0)
+    }
+
+    /// The conservative estimate `w̄ + σ` the budget-aware algorithms plan
+    /// with (paper §IV-A): low risk of under-estimation, accurate for most
+    /// executions.
+    #[inline]
+    pub fn conservative(&self) -> f64 {
+        self.mean + self.std_dev
+    }
+
+    /// Scale the deviation to `ratio * mean` (the paper sweeps σ over
+    /// 25/50/75/100% of the mean).
+    pub fn with_sigma_ratio(self, ratio: f64) -> Self {
+        Self::new(self.mean, self.mean * ratio)
+    }
+}
+
+/// A workflow task: a non-preemptive unit of computation that runs on a
+/// single processor (paper §III-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Dense id within the owning workflow.
+    pub id: TaskId,
+    /// Human-readable name, e.g. `mProjectPP_3` (used in traces and DOT).
+    pub name: String,
+    /// Stochastic instruction count.
+    pub weight: StochasticWeight,
+    /// Bytes of input this task reads from the outside world via the
+    /// datacenter (`d_in,DC` in Eq. 2). Non-zero only for entry tasks.
+    pub external_input: f64,
+    /// Bytes of output this task ships to the outside world via the
+    /// datacenter (`d_DC,out` in Eq. 2). Non-zero only for exit tasks.
+    pub external_output: f64,
+}
+
+impl Task {
+    /// A task with no external I/O.
+    pub fn new(id: TaskId, name: impl Into<String>, weight: StochasticWeight) -> Self {
+        Self { id, name: name.into(), weight, external_input: 0.0, external_output: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservative_adds_one_sigma() {
+        let w = StochasticWeight::new(100.0, 25.0);
+        assert_eq!(w.conservative(), 125.0);
+    }
+
+    #[test]
+    fn fixed_weight_has_zero_sigma() {
+        let w = StochasticWeight::fixed(10.0);
+        assert_eq!(w.std_dev, 0.0);
+        assert_eq!(w.conservative(), 10.0);
+    }
+
+    #[test]
+    fn sigma_ratio_rescales_deviation() {
+        let w = StochasticWeight::new(200.0, 10.0).with_sigma_ratio(0.5);
+        assert_eq!(w.mean, 200.0);
+        assert_eq!(w.std_dev, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be positive")]
+    fn zero_mean_rejected() {
+        StochasticWeight::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "std dev must be non-negative")]
+    fn negative_sigma_rejected() {
+        StochasticWeight::new(1.0, -0.5);
+    }
+
+    #[test]
+    fn task_id_display_and_index() {
+        let id = TaskId(7);
+        assert_eq!(id.to_string(), "T7");
+        assert_eq!(id.index(), 7);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Task::new(TaskId(3), "mAdd", StochasticWeight::new(5.0, 1.0));
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Task = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,64 @@
+//! Budget sweep on a 90-task workflow — a miniature of the paper's Fig. 1:
+//! how makespan, spent cost and VM enrollment react to the initial budget
+//! for MIN-MIN(BUDG) and HEFT(BUDG), with the `min_cost` floor for context.
+//!
+//! Run with: `cargo run --release --example budget_sweep [cybershake|ligo|montage]`
+
+use budget_sched::prelude::*;
+
+fn main() {
+    let ty: BenchmarkType = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "montage".into())
+        .parse()
+        .expect("workflow type: cybershake | ligo | montage");
+    let wf = ty.generate(GenConfig::new(90, 1));
+    let platform = Platform::paper_default();
+
+    // The cost floor: everything on one cheapest VM.
+    let floor = simulate(
+        &wf,
+        &platform,
+        &min_cost_schedule(&wf, &platform),
+        &SimConfig::planning(),
+    )
+    .unwrap();
+    println!(
+        "{}-90  min_cost: ${:.3} (makespan {:.0}s)\n",
+        ty.name(),
+        floor.total_cost,
+        floor.makespan
+    );
+
+    // Budget-oblivious baselines for reference.
+    let cfg = SimConfig::stochastic(7);
+    for alg in [Algorithm::MinMin, Algorithm::Heft] {
+        let s = alg.run(&wf, &platform, f64::INFINITY);
+        let r = simulate(&wf, &platform, &s, &cfg).unwrap();
+        println!(
+            "{:<12} (no budget): makespan {:>7.0}s  cost ${:<8.3} VMs {}",
+            alg.name(),
+            r.makespan,
+            r.total_cost,
+            r.vms_used
+        );
+    }
+
+    println!(
+        "\n{:>8} | {:>22} | {:>22}",
+        "budget", "MIN-MINBUDG", "HEFTBUDG"
+    );
+    println!("{:>8} | {:>9} {:>8} {:>3} | {:>9} {:>8} {:>3}", "$", "makespan", "cost", "VMs", "makespan", "cost", "VMs");
+    let base = floor.total_cost;
+    for mult in [1.0, 1.5, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0] {
+        let budget = base * mult;
+        let mut cells = Vec::new();
+        for alg in [Algorithm::MinMinBudg, Algorithm::HeftBudg] {
+            let s = alg.run(&wf, &platform, budget);
+            let r = simulate(&wf, &platform, &s, &cfg).unwrap();
+            cells.push(format!("{:>9.0} {:>8.3} {:>3}", r.makespan, r.total_cost, r.vms_used));
+        }
+        println!("{budget:>8.2} | {} | {}", cells[0], cells[1]);
+    }
+    println!("\n(makespans in seconds; one stochastic replay per cell, σ = 50 %)");
+}

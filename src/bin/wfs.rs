@@ -1,0 +1,269 @@
+//! `wfs` — command-line front end to the budget-sched library.
+//!
+//! ```text
+//! wfs gen <cybershake|ligo|montage|epigenomics|sipht> <tasks> [--seed N] [--sigma R] [-o FILE]
+//! wfs stats <workflow.json>
+//! wfs dot <workflow.json> [-o FILE]
+//! wfs schedule <workflow.json> --alg <name> --budget <dollars>
+//!              [--platform FILE] [-o FILE]
+//! wfs simulate <workflow.json> <schedule.json> [--seed N | --conservative | --mean]
+//!              [--platform FILE] [--budget B] [--gantt]
+//! wfs sweep <workflow.json> --budgets <b1,b2,...> [--algs <a1,a2,...>] [--platform FILE]
+//! wfs platform [-o FILE]
+//! ```
+//!
+//! Workflows, schedules and platforms are JSON files; `wfs platform` dumps
+//! the paper's Table II platform as a starting point for edits.
+
+use budget_sched::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("wfs: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  wfs gen <cybershake|ligo|montage|epigenomics|sipht> <tasks> [--seed N] [--sigma R] [-o FILE]
+  wfs stats <workflow.json>
+  wfs dot <workflow.json> [-o FILE]
+  wfs schedule <workflow.json> --alg <name> --budget <dollars> [--platform FILE] [-o FILE]
+  wfs simulate <workflow.json> <schedule.json> [--seed N | --conservative | --mean]
+               [--platform FILE] [--budget B] [--gantt]
+  wfs sweep <workflow.json> --budgets <b1,b2,...> [--algs <a1,a2,...>] [--platform FILE]
+  wfs deadline <workflow.json> --deadline <secs> [--platform FILE]
+  wfs platform [-o FILE]
+
+algorithms: MIN-MIN HEFT MIN-MINBUDG HEFTBUDG HEFTBUDG+ HEFTBUDG+INV BDT CG CG+";
+
+type CliResult = Result<(), String>;
+
+/// Fetch the value following a `--flag`.
+fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: `{s}`"))
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn emit(out: Option<&str>, content: &str) -> CliResult {
+    match out {
+        Some(path) => {
+            std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+            Ok(())
+        }
+        None => {
+            println!("{content}");
+            Ok(())
+        }
+    }
+}
+
+/// Reference speed for DAX runtime <-> work conversion (Gflop/s): the
+/// paper platform's cheapest category.
+const DAX_REF_SPEED: f64 = 10.0;
+
+/// Load a workflow from `.json` (native) or `.dax`/`.xml` (Pegasus DAX).
+fn load_workflow(path: &str) -> Result<Workflow, String> {
+    let content = read_file(path)?;
+    if path.ends_with(".dax") || path.ends_with(".xml") {
+        budget_sched::workflow::dax::from_dax(&content, DAX_REF_SPEED)
+            .map_err(|e| format!("bad DAX {path}: {e}"))
+    } else {
+        Workflow::from_json(&content).map_err(|e| format!("bad workflow {path}: {e}"))
+    }
+}
+
+fn load_platform(args: &[String]) -> Result<Platform, String> {
+    match opt(args, "--platform") {
+        Some(path) => serde_json::from_str(&read_file(path)?)
+            .map_err(|e| format!("bad platform {path}: {e}")),
+        None => Ok(Platform::paper_default()),
+    }
+}
+
+fn run(args: &[String]) -> CliResult {
+    let cmd = args.first().ok_or("missing command")?;
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "stats" => cmd_stats(rest),
+        "dot" => cmd_dot(rest),
+        "schedule" => cmd_schedule(rest),
+        "simulate" => cmd_simulate(rest),
+        "sweep" => cmd_sweep(rest),
+        "deadline" => cmd_deadline(rest),
+        "platform" => emit(opt(rest, "-o"), &pretty(&Platform::paper_default())?),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn pretty<T: serde::Serialize>(v: &T) -> Result<String, String> {
+    serde_json::to_string_pretty(v).map_err(|e| e.to_string())
+}
+
+fn cmd_gen(args: &[String]) -> CliResult {
+    let ty = args.first().ok_or("gen: missing workflow type")?;
+    let tasks: usize = parse(args.get(1).ok_or("gen: missing task count")?, "task count")?;
+    let seed: u64 = opt(args, "--seed").map_or(Ok(1), |s| parse(s, "seed"))?;
+    let sigma: f64 = opt(args, "--sigma").map_or(Ok(0.5), |s| parse(s, "sigma ratio"))?;
+    let cfg = GenConfig::new(tasks, seed).with_sigma_ratio(sigma);
+    let wf = match ty.as_str() {
+        "epigenomics" => epigenomics(cfg),
+        "sipht" => sipht(cfg),
+        other => parse::<BenchmarkType>(other, "workflow type")?.generate(cfg),
+    };
+    // Emit DAX when the output file asks for it, JSON otherwise.
+    let out = opt(args, "-o");
+    if has_flag(args, "--dax") || out.is_some_and(|p| p.ends_with(".dax") || p.ends_with(".xml")) {
+        emit(out, &budget_sched::workflow::dax::to_dax(&wf, DAX_REF_SPEED))
+    } else {
+        emit(out, &wf.to_json())
+    }
+}
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let wf = load_workflow(args.first().ok_or("stats: missing workflow file")?)?;
+    let s = analysis::stats(&wf);
+    println!("workflow      {}", wf.name);
+    println!("tasks         {}", s.tasks);
+    println!("edges         {}", s.edges);
+    println!("depth/width   {}/{}", s.depth, s.width);
+    println!("entries/exits {}/{}", s.entries, s.exits);
+    println!("total work    {:.1} Gflop", s.total_work);
+    println!("total data    {:.1} MB", s.total_data / 1e6);
+    println!("external I/O  {:.1} MB in / {:.1} MB out", wf.external_input_data() / 1e6, wf.external_output_data() / 1e6);
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> CliResult {
+    let wf = load_workflow(args.first().ok_or("dot: missing workflow file")?)?;
+    emit(opt(args, "-o"), &budget_sched::workflow::dot::to_dot(&wf))
+}
+
+fn cmd_schedule(args: &[String]) -> CliResult {
+    let wf = load_workflow(args.first().ok_or("schedule: missing workflow file")?)?;
+    let alg: Algorithm = parse(opt(args, "--alg").ok_or("schedule: missing --alg")?, "algorithm")?;
+    let budget: f64 = parse(opt(args, "--budget").ok_or("schedule: missing --budget")?, "budget")?;
+    if !budget.is_finite() || budget < 0.0 {
+        return Err(format!("budget must be a finite non-negative amount, got {budget}"));
+    }
+    let platform = load_platform(args)?;
+    let t0 = std::time::Instant::now();
+    let sched = alg.run(&wf, &platform, budget);
+    eprintln!(
+        "{alg}: {} VMs in {:.1} ms",
+        sched.used_vm_count(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    emit(opt(args, "-o"), &pretty(&sched)?)
+}
+
+fn cmd_simulate(args: &[String]) -> CliResult {
+    let wf = load_workflow(args.first().ok_or("simulate: missing workflow file")?)?;
+    let sched: Schedule =
+        serde_json::from_str(&read_file(args.get(1).ok_or("simulate: missing schedule file")?)?)
+            .map_err(|e| format!("bad schedule: {e}"))?;
+    let platform = load_platform(args)?;
+    let cfg = if has_flag(args, "--conservative") {
+        SimConfig::planning()
+    } else if has_flag(args, "--mean") {
+        SimConfig::new(WeightModel::Mean)
+    } else {
+        let seed: u64 = opt(args, "--seed").map_or(Ok(0), |s| parse(s, "seed"))?;
+        SimConfig::stochastic(seed)
+    };
+    let r = simulate(&wf, &platform, &sched, &cfg).map_err(|e| e.to_string())?;
+    println!("makespan   {:.1} s", r.makespan);
+    println!("vm cost    ${:.4}", r.vm_cost);
+    println!("dc cost    ${:.4}", r.datacenter_cost);
+    println!("total cost ${:.4}", r.total_cost);
+    println!("VMs used   {}", r.vms_used);
+    if let Some(b) = opt(args, "--budget") {
+        let b: f64 = parse(b, "budget")?;
+        println!("in budget  {}", if r.within_budget(b) { "yes" } else { "NO" });
+    }
+    if has_flag(args, "--gantt") {
+        println!("\n{}", r.gantt(72));
+    }
+    if let Some(path) = opt(args, "--svg") {
+        let svg = budget_sched::simulator::svg::to_svg(
+            &r,
+            budget_sched::simulator::svg::SvgOptions::default(),
+        );
+        std::fs::write(path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `wfs deadline <workflow.json> --deadline <secs> [--platform FILE]`:
+/// the smallest budget whose HEFTBUDG schedule meets the deadline.
+fn cmd_deadline(args: &[String]) -> CliResult {
+    let wf = load_workflow(args.first().ok_or("deadline: missing workflow file")?)?;
+    let d: f64 = parse(opt(args, "--deadline").ok_or("deadline: missing --deadline")?, "deadline")?;
+    let platform = load_platform(args)?;
+    match min_budget_for_deadline(&wf, &platform, d) {
+        Some((budget, sched)) => {
+            let r = simulate(&wf, &platform, &sched, &SimConfig::planning())
+                .map_err(|e| e.to_string())?;
+            println!("min budget  ${budget:.4}");
+            println!("makespan    {:.1} s (deadline {d:.1} s)", r.makespan);
+            println!("VMs         {}", sched.used_vm_count());
+            Ok(())
+        }
+        None => Err(format!("deadline {d}s is unreachable at any budget")),
+    }
+}
+
+fn cmd_sweep(args: &[String]) -> CliResult {
+    let wf = load_workflow(args.first().ok_or("sweep: missing workflow file")?)?;
+    let platform = load_platform(args)?;
+    let budgets: Vec<f64> = opt(args, "--budgets")
+        .ok_or("sweep: missing --budgets")?
+        .split(',')
+        .map(|s| parse(s.trim(), "budget"))
+        .collect::<Result<_, _>>()?;
+    let algs: Vec<Algorithm> = match opt(args, "--algs") {
+        Some(list) => list
+            .split(',')
+            .map(|s| parse(s.trim(), "algorithm"))
+            .collect::<Result<_, _>>()?,
+        None => vec![Algorithm::MinMinBudg, Algorithm::HeftBudg],
+    };
+    println!("{:<14} {:>10} {:>10} {:>10} {:>5}", "algorithm", "budget $", "makespan", "cost $", "VMs");
+    for &b in &budgets {
+        for &alg in &algs {
+            let sched = alg.run(&wf, &platform, b);
+            let r = simulate(&wf, &platform, &sched, &SimConfig::planning())
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{:<14} {:>10.3} {:>9.0}s {:>10.4} {:>5}",
+                alg.name(),
+                b,
+                r.makespan,
+                r.total_cost,
+                r.vms_used
+            );
+        }
+    }
+    Ok(())
+}

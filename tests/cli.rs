@@ -1,0 +1,211 @@
+//! End-to-end tests of the `wfs` CLI binary: gen → stats/dot → schedule →
+//! simulate → sweep, through real files and process invocations.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn wfs(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_wfs"))
+        .args(args)
+        .output()
+        .expect("wfs binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wfs-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn gen_stats_dot_roundtrip() {
+    let wf = tmp("m30.json");
+    let out = wfs(&["gen", "montage", "30", "--seed", "2", "-o", wf.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(wf.exists());
+
+    let out = wfs(&["stats", wf.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("tasks         30"), "{text}");
+    assert!(text.contains("MONTAGE-30-s2"), "{text}");
+
+    let out = wfs(&["dot", wf.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("digraph"));
+}
+
+#[test]
+fn schedule_then_simulate() {
+    let wf = tmp("c30.json");
+    assert!(wfs(&["gen", "cybershake", "30", "-o", wf.to_str().unwrap()]).status.success());
+    let sched = tmp("c30-sched.json");
+    let out = wfs(&[
+        "schedule",
+        wf.to_str().unwrap(),
+        "--alg",
+        "heftbudg",
+        "--budget",
+        "1.0",
+        "-o",
+        sched.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = wfs(&[
+        "simulate",
+        wf.to_str().unwrap(),
+        sched.to_str().unwrap(),
+        "--seed",
+        "7",
+        "--budget",
+        "1.0",
+        "--gantt",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("makespan"), "{text}");
+    assert!(text.contains("total cost"), "{text}");
+    assert!(text.contains("in budget"), "{text}");
+    assert!(text.contains('#'), "gantt missing: {text}");
+}
+
+#[test]
+fn sweep_prints_table() {
+    let wf = tmp("l30.json");
+    assert!(wfs(&["gen", "ligo", "30", "-o", wf.to_str().unwrap()]).status.success());
+    let out = wfs(&[
+        "sweep",
+        wf.to_str().unwrap(),
+        "--budgets",
+        "0.1,1.0",
+        "--algs",
+        "heftbudg,cg",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("HEFTBUDG"), "{text}");
+    assert!(text.contains("CG"), "{text}");
+    // 2 budgets x 2 algorithms + header.
+    assert_eq!(text.lines().count(), 5, "{text}");
+}
+
+#[test]
+fn platform_dump_parses_back() {
+    let out = wfs(&["platform"]);
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    let p: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(p["categories"].as_array().unwrap().len(), 3);
+}
+
+#[test]
+fn epigenomics_generator_exposed() {
+    let out = wfs(&["gen", "epigenomics", "20"]);
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("EPIGENOMICS-20"), "{json}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero_with_usage() {
+    let out = wfs(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    let out = wfs(&["schedule", "/nonexistent.json", "--alg", "heft", "--budget", "1"]);
+    assert!(!out.status.success());
+
+    let out = wfs(&["gen", "montage", "30", "--alg"]); // stray flag ok, still generates
+    assert!(out.status.success());
+}
+
+#[test]
+fn dax_roundtrip_through_cli() {
+    let dax = tmp("m20.dax");
+    let out = wfs(&["gen", "montage", "20", "-o", dax.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let content = std::fs::read_to_string(&dax).unwrap();
+    assert!(content.starts_with("<?xml"), "not DAX: {}", &content[..40.min(content.len())]);
+
+    // The DAX file is accepted everywhere a workflow is.
+    let out = wfs(&["stats", dax.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("tasks         20"));
+
+    let sched = tmp("m20-sched.json");
+    let out = wfs(&[
+        "schedule",
+        dax.to_str().unwrap(),
+        "--alg",
+        "minminbudg",
+        "--budget",
+        "0.5",
+        "-o",
+        sched.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn deadline_command_reports_min_budget() {
+    let wf = tmp("m30d.json");
+    assert!(wfs(&["gen", "montage", "30", "-o", wf.to_str().unwrap()]).status.success());
+    let out = wfs(&["deadline", wf.to_str().unwrap(), "--deadline", "2000"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("min budget"), "{text}");
+
+    // Unreachable deadline fails loudly.
+    let out = wfs(&["deadline", wf.to_str().unwrap(), "--deadline", "0.5"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn simulate_writes_svg() {
+    let wf = tmp("c20.json");
+    assert!(wfs(&["gen", "cybershake", "20", "-o", wf.to_str().unwrap()]).status.success());
+    let sched = tmp("c20-sched.json");
+    assert!(wfs(&[
+        "schedule",
+        wf.to_str().unwrap(),
+        "--alg",
+        "heftbudg",
+        "--budget",
+        "1",
+        "-o",
+        sched.to_str().unwrap()
+    ])
+    .status
+    .success());
+    let svg = tmp("c20.svg");
+    let out = wfs(&[
+        "simulate",
+        wf.to_str().unwrap(),
+        sched.to_str().unwrap(),
+        "--svg",
+        svg.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let content = std::fs::read_to_string(&svg).unwrap();
+    assert!(content.starts_with("<svg"));
+}
+
+#[test]
+fn custom_platform_file_is_used() {
+    // Dump, modify nothing, and feed it back via --platform.
+    let pfile = tmp("platform.json");
+    let out = wfs(&["platform", "-o", pfile.to_str().unwrap()]);
+    assert!(out.status.success());
+    let wf = tmp("m11.json");
+    assert!(wfs(&["gen", "montage", "11", "-o", wf.to_str().unwrap()]).status.success());
+    let out = wfs(&[
+        "sweep",
+        wf.to_str().unwrap(),
+        "--budgets",
+        "0.5",
+        "--platform",
+        pfile.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
