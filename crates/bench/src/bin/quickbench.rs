@@ -1,0 +1,113 @@
+//! Dependency-free scheduling-time microbenchmark (Table III(b) trajectory).
+//!
+//! Times every [`Algorithm`] on MONTAGE / LIGO / CYBERSHAKE at 30, 90 and
+//! 400 tasks with `std::time::Instant`, both on the optimized planner fast
+//! path and in naive reference mode, and writes the medians (ns per
+//! schedule) plus the fast-vs-naive speedup to `BENCH_sched_time.json` at
+//! the repository root.
+//!
+//! Usage: `quickbench [iterations]` — `iterations` is the sample count per
+//! cell (default 9; CI smoke runs use 1). Medians over an odd sample count
+//! keep one-off scheduler hiccups out of the reported number.
+
+use std::time::Instant;
+
+use wfs_bench::{characteristic_budgets, platform, workflow};
+use wfs_scheduler::{reference, Algorithm};
+use wfs_workflow::gen::BenchmarkType;
+use wfs_workflow::Workflow;
+
+const SIZES: [usize; 3] = [30, 90, 400];
+const TYPES: [(&str, BenchmarkType); 3] = [
+    ("montage", BenchmarkType::Montage),
+    ("ligo", BenchmarkType::Ligo),
+    ("cybershake", BenchmarkType::CyberShake),
+];
+
+/// Median of `samples` nanosecond measurements (odd counts expected).
+fn median(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Time `iterations` runs of `alg` on `wf` and return the median ns.
+fn time_algorithm(
+    alg: Algorithm,
+    wf: &Workflow,
+    budget: f64,
+    iterations: usize,
+) -> u128 {
+    let p = platform();
+    let mut samples = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let start = Instant::now();
+        let schedule = alg.run(wf, &p, budget);
+        let elapsed = start.elapsed().as_nanos();
+        std::hint::black_box(schedule);
+        samples.push(elapsed);
+    }
+    median(&mut samples)
+}
+
+fn main() {
+    let iterations: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("iterations must be a positive integer"))
+        .unwrap_or(9)
+        .max(1);
+
+    let p = platform();
+    let mut cells = Vec::new();
+    for (ty_name, ty) in TYPES {
+        for size in SIZES {
+            let wf = workflow(ty, size);
+            // Medium budget: the constrained-but-feasible regime where the
+            // budget machinery (shares, pot, affordability) is fully active.
+            let budget = characteristic_budgets(&wf, &p)[1].1;
+            for alg in Algorithm::ALL {
+                // The refinement algorithms (HEFTBUDG+/+INV, CG+) spend
+                // their time in whole-schedule re-simulations, not in the
+                // planner — tens of seconds per run at 400 tasks. Keep them
+                // at 30/90 and skip the 400-task cells so the harness stays
+                // quick (their planner path is HEFT's / CG's anyway).
+                let refinement = matches!(
+                    alg,
+                    Algorithm::HeftBudgPlus | Algorithm::HeftBudgPlusInv | Algorithm::CgPlus
+                );
+                if refinement && size == 400 {
+                    continue;
+                }
+                let fast = time_algorithm(alg, &wf, budget, iterations);
+                let naive =
+                    reference::with_naive(|| time_algorithm(alg, &wf, budget, iterations));
+                let speedup = naive as f64 / fast.max(1) as f64;
+                eprintln!(
+                    "{ty_name}-{size} {:<16} fast {:>12} ns  naive {:>12} ns  speedup {speedup:.2}x",
+                    alg.name(),
+                    fast,
+                    naive
+                );
+                cells.push(format!(
+                    concat!(
+                        "    {{\"workflow\": \"{}\", \"tasks\": {}, \"algorithm\": \"{}\", ",
+                        "\"fast_ns\": {}, \"naive_ns\": {}, \"speedup\": {:.3}}}"
+                    ),
+                    ty_name,
+                    size,
+                    alg.name(),
+                    fast,
+                    naive,
+                    speedup
+                ));
+            }
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"unit\": \"ns per schedule (median of {iterations})\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        cells.join(",\n")
+    );
+    let out = "BENCH_sched_time.json";
+    std::fs::write(out, &json).expect("write benchmark results");
+    eprintln!("wrote {out}");
+}

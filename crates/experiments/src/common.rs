@@ -1,7 +1,7 @@
 //! Shared plumbing for the experiment harness: run matrices, aggregation,
 //! CSV/markdown output, and parallel fan-out.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -140,9 +140,9 @@ pub fn sweep(
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
 
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
@@ -155,7 +155,7 @@ pub fn sweep(
                 let schedule = job.alg.run(&wf, &platform, budget);
                 let sched_secs = t0.elapsed().as_secs_f64();
                 let r = replay(&wf, &platform, &schedule, budget, scale.reps);
-                results.lock().push(JobResult {
+                results.lock().unwrap().push(JobResult {
                     wf_name: job.wf_ty.name(),
                     alg: job.alg.name(),
                     budget_mult: *mult,
@@ -167,10 +167,9 @@ pub fn sweep(
                 });
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
 
-    aggregate(results.into_inner())
+    aggregate(results.into_inner().expect("worker threads do not panic"))
 }
 
 /// Replay a schedule `reps` times; returns (makespans, costs, vms, valid).

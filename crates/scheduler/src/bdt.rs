@@ -46,8 +46,7 @@ pub fn bdt(wf: &Workflow, platform: &Platform, b_ini: f64) -> Schedule {
         for t in tasks {
             // All-in: this task may tentatively use everything left.
             let sub_budget = remaining.max(0.0);
-            let evals = plan.evaluate_all(t);
-            let chosen = pick_by_tctf(&evals, sub_budget);
+            let chosen = plan.with_candidate_evals(t, |evals| pick_by_tctf(evals, sub_budget));
             remaining -= chosen.cost;
             plan.commit(t, chosen.candidate);
         }

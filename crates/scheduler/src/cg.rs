@@ -89,16 +89,17 @@ pub fn cg(wf: &Workflow, platform: &Platform, b_ini: f64) -> Schedule {
             })
             .expect("platform is non-empty");
         // Instance: best EFT among used VMs of that category + a fresh one.
-        let best = plan
-            .candidates()
-            .into_iter()
-            .filter(|c| match *c {
-                Candidate::Used(vm) => plan.schedule().vm_category(vm) == cat,
-                Candidate::New(c2) => c2 == cat,
-            })
-            .map(|c| plan.evaluate(t, c))
-            .min_by(|a, b| a.eft.total_cmp(&b.eft).then(a.cost.total_cmp(&b.cost)))
-            .expect("at least the fresh VM of `cat` is a candidate");
+        let best = plan.with_candidate_evals(t, |evals| {
+            evals
+                .iter()
+                .filter(|e| match e.candidate {
+                    Candidate::Used(vm) => plan.schedule().vm_category(vm) == cat,
+                    Candidate::New(c2) => c2 == cat,
+                })
+                .min_by(|a, b| a.eft.total_cmp(&b.eft).then(a.cost.total_cmp(&b.cost)))
+                .copied()
+                .expect("at least the fresh VM of `cat` is a candidate")
+        });
         plan.commit(t, best.candidate);
     }
     plan.into_schedule()

@@ -46,6 +46,7 @@ mod maxmin;
 mod minmin;
 mod online;
 mod plan;
+pub mod reference;
 mod refine;
 
 pub use algorithms::{min_cost_schedule, Algorithm};

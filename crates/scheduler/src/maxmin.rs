@@ -8,11 +8,11 @@
 //! - SUFFERAGE commits the task that would *suffer* most if denied its
 //!   best host: maximal difference between its second-best and best EFT.
 
-use crate::best_host::get_best_host;
+use crate::best_host::{select, BestHostCache, COST_EPS};
 use crate::budget::{divide_budget, Pot};
 use crate::plan::{HostEval, PlanState};
 use wfs_platform::Platform;
-use wfs_simulator::Schedule;
+use wfs_simulator::{Schedule, VmId};
 use wfs_workflow::{TaskId, Workflow};
 
 /// Task-selection rule within the ready set.
@@ -47,10 +47,14 @@ fn run(wf: &Workflow, platform: &Platform, b_ini: Option<f64>, rule: Rule) -> Sc
     let mut pot = Pot::new();
     let mut plan = PlanState::new(wf, platform);
 
-    let n = wf.task_count();
     let mut missing: Vec<usize> = wf.task_ids().map(|t| wf.in_edges(t).len()).collect();
     let mut ready: Vec<TaskId> = wf.task_ids().filter(|&t| missing[t.index()] == 0).collect();
-    let mut scheduled = vec![false; n];
+
+    // MAX-MIN reuses the incremental best-host cache (its score is just the
+    // best EFT). SUFFERAGE cannot: its score depends on the whole affordable
+    // candidate *set*, so it runs one combined zero-allocation sweep instead.
+    let mut cache = BestHostCache::new(wf.task_count());
+    let mut last_commit: Option<VmId> = None;
 
     while !ready.is_empty() {
         let mut best: Option<(usize, HostEval, f64)> = None; // (idx, eval, score)
@@ -59,42 +63,47 @@ fn run(wf: &Workflow, platform: &Platform, b_ini: Option<f64>, rule: Rule) -> Sc
                 Some(s) => s.share(t) + pot.available(),
                 None => f64::INFINITY,
             };
-            let eval = get_best_host(&plan, t, limit);
-            let score = match rule {
-                Rule::MaxMin => eval.eft,
-                Rule::Sufferage => {
-                    // Sufferage = second-best EFT − best EFT among the
-                    // affordable candidates (∞ limit for the baseline).
-                    let mut efts: Vec<f64> = plan
-                        .evaluate_all(t)
-                        .into_iter()
-                        .filter(|e| e.cost <= limit + 1e-9)
-                        .map(|e| e.eft)
-                        .collect();
-                    if efts.is_empty() {
-                        0.0
-                    } else {
-                        efts.sort_by(f64::total_cmp);
-                        if efts.len() > 1 { efts[1] - efts[0] } else { f64::INFINITY }
-                    }
+            let (eval, score) = match rule {
+                Rule::MaxMin => {
+                    let eval = cache.best(&plan, t, limit, last_commit);
+                    (eval, eval.eft)
                 }
+                Rule::Sufferage => plan.with_candidate_evals(t, |evals| {
+                    // Sufferage = second-best EFT − best EFT among the
+                    // affordable candidates (∞ limit for the baseline);
+                    // 0 when none is affordable, ∞ when exactly one is.
+                    let (mut e1, mut e2) = (f64::INFINITY, f64::INFINITY);
+                    let mut affordable = 0usize;
+                    for e in evals {
+                        if e.cost <= limit + COST_EPS {
+                            affordable += 1;
+                            if e.eft < e1 {
+                                (e1, e2) = (e.eft, e1);
+                            } else if e.eft < e2 {
+                                e2 = e.eft;
+                            }
+                        }
+                    }
+                    let score = match affordable {
+                        0 => 0.0,
+                        1 => f64::INFINITY,
+                        _ => e2 - e1,
+                    };
+                    (select(evals, limit).best, score)
+                }),
             };
             // Maximize the score; tie-break on smaller EFT, then id.
-            let better = match &best {
-                None => true,
-                Some((bi, be, bs)) => {
-                    score > *bs
-                        || (score == *bs && (eval.eft, t.0) < (be.eft, ready[*bi].0))
-                }
-            };
+            let better = best.as_ref().is_none_or(|(bi, be, bs)| {
+                score > *bs || (score == *bs && (eval.eft, t.0) < (be.eft, ready[*bi].0))
+            });
             if better {
                 best = Some((i, eval, score));
             }
         }
         let (idx, eval, _) = best.expect("ready set is non-empty");
         let t = ready.swap_remove(idx);
-        plan.commit(t, eval.candidate);
-        scheduled[t.index()] = true;
+        last_commit = Some(plan.commit(t, eval.candidate));
+        cache.forget(t);
         if let Some(s) = &split {
             pot.settle(s.share(t), eval.cost);
         }

@@ -6,11 +6,11 @@
 //! each task's host choice to those respecting its budget share plus the
 //! accumulated pot.
 
-use crate::best_host::get_best_host;
+use crate::best_host::BestHostCache;
 use crate::budget::{divide_budget, Pot};
 use crate::plan::PlanState;
 use wfs_platform::Platform;
-use wfs_simulator::Schedule;
+use wfs_simulator::{Schedule, VmId};
 use wfs_workflow::{TaskId, Workflow};
 
 /// Run MIN-MIN (unbounded budget) — the baseline of §V-B.
@@ -38,35 +38,36 @@ fn min_min_inner(wf: &Workflow, platform: &Platform, b_ini: Option<f64>, mut pot
     let mut plan = PlanState::new(wf, platform);
 
     // Ready set maintained with remaining-predecessor counts.
-    let n = wf.task_count();
     let mut missing: Vec<usize> = wf.task_ids().map(|t| wf.in_edges(t).len()).collect();
     let mut ready: Vec<TaskId> = wf.task_ids().filter(|&t| missing[t.index()] == 0).collect();
-    let mut scheduled = vec![false; n];
+
+    // Incremental selection: each round commits one task to one VM, which
+    // leaves every other ready task's best host unchanged unless the cache
+    // can prove otherwise (see `BestHostCache`).
+    let mut cache = BestHostCache::new(wf.task_count());
+    let mut last_commit: Option<VmId> = None;
 
     while !ready.is_empty() {
         // MIN-MIN selection: the ready task whose best host yields the
-        // minimal EFT over all ready tasks.
+        // minimal EFT over all ready tasks (ties: cheaper, then lower id).
         let mut best: Option<(usize, crate::plan::HostEval)> = None;
         for (i, &t) in ready.iter().enumerate() {
             let limit = match &split {
                 Some(s) => s.share(t) + pot.available(),
                 None => f64::INFINITY,
             };
-            let eval = get_best_host(&plan, t, limit);
-            let better = match &best {
-                None => true,
-                Some((_, b)) => {
-                    (eval.eft, eval.cost, t.0) < (b.eft, b.cost, ready[best.as_ref().unwrap().0].0)
-                }
-            };
+            let eval = cache.best(&plan, t, limit, last_commit);
+            let better = best
+                .as_ref()
+                .is_none_or(|(bi, b)| (eval.eft, eval.cost, t.0) < (b.eft, b.cost, ready[*bi].0));
             if better {
                 best = Some((i, eval));
             }
         }
         let (idx, eval) = best.expect("ready set is non-empty");
         let t = ready.swap_remove(idx);
-        plan.commit(t, eval.candidate);
-        scheduled[t.index()] = true;
+        last_commit = Some(plan.commit(t, eval.candidate));
+        cache.forget(t);
         if let Some(s) = &split {
             pot.settle(s.share(t), eval.cost);
         }

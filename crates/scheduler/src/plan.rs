@@ -13,9 +13,13 @@
 //! ignored, and weights are conservative (`w̄ + σ`). The actual execution is
 //! replayed afterwards by `wfs-simulator`.
 
+use std::cell::RefCell;
+
 use wfs_platform::{CategoryId, Platform};
 use wfs_simulator::{Schedule, VmId};
 use wfs_workflow::{TaskId, Workflow};
+
+use crate::reference;
 
 /// A candidate host for the task being scheduled: an already-enrolled VM or
 /// a fresh VM of some category (the paper's `Used_VM ∪ New_VM`, §IV-A).
@@ -43,6 +47,36 @@ pub struct HostEval {
     pub cost: f64,
 }
 
+/// Reusable buffers for the allocation-free candidate sweep. Owned by
+/// [`PlanState`] behind a `RefCell` so sweeps work through `&PlanState`.
+///
+/// The per-VM arrays are *stamped*: instead of clearing them between
+/// sweeps, each entry carries the stamp of the sweep that last wrote it,
+/// and stale entries are simply ignored. The arrays only ever grow (when
+/// VMs are enrolled), so steady-state sweeps perform no heap allocation.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Evaluations of the current sweep, in candidate order (used VMs in
+    /// enrollment order, then one `New` per category).
+    evals: Vec<HostEval>,
+    /// Per-VM sum of *local* edge bytes (edges whose producer sits on that
+    /// VM), for VMs hosting ≥1 predecessor of the swept task.
+    vm_bytes: Vec<f64>,
+    /// Per-VM maximum data-at-DC instant of the same local edges.
+    vm_dready: Vec<f64>,
+    /// Sweep stamp guarding `vm_bytes`/`vm_dready` entries.
+    vm_stamp: Vec<u64>,
+    /// Current sweep stamp.
+    stamp: u64,
+    /// Distinct VMs hosting a predecessor of the swept task (≤ deg).
+    pred_vms: Vec<VmId>,
+    /// Per-category base occupied time (`total_bytes / bw + w / speed`) of
+    /// the swept task — hoists the divisions out of the per-VM loop.
+    cat_occupied: Vec<f64>,
+    /// Per-category `cost_per_second()`.
+    cat_rate: Vec<f64>,
+}
+
 /// Incremental planning state over a partially built schedule.
 #[derive(Debug, Clone)]
 pub struct PlanState<'a> {
@@ -58,6 +92,11 @@ pub struct PlanState<'a> {
     /// (`INFINITY` until the producer is scheduled).
     edge_at_dc: Vec<f64>,
     schedule: Schedule,
+    /// Scratch space for [`Self::with_candidate_evals`].
+    scratch: RefCell<Scratch>,
+    /// When true (set via [`crate::reference::with_naive`]), sweeps use the
+    /// per-candidate naive evaluation instead of the aggregated fast path.
+    naive: bool,
 }
 
 impl<'a> PlanState<'a> {
@@ -71,7 +110,18 @@ impl<'a> PlanState<'a> {
             finish: vec![f64::NAN; wf.task_count()],
             edge_at_dc: vec![f64::INFINITY; wf.edge_count()],
             schedule: Schedule::new(wf.task_count()),
+            scratch: RefCell::new(Scratch::default()),
+            naive: reference::naive_enabled(),
         }
+    }
+
+    /// True when this state was created under [`reference::with_naive`]:
+    /// sweeps take the per-candidate naive path and incremental selection
+    /// caches are disabled, so results serve as the ground truth the fast
+    /// path is tested against.
+    #[inline]
+    pub fn is_naive(&self) -> bool {
+        self.naive
     }
 
     /// The workflow being planned.
@@ -139,60 +189,234 @@ impl<'a> PlanState<'a> {
 
     /// Bytes `size(d_in,T)` that must be pulled from the datacenter if `t`
     /// runs on `on` (`None` = a new VM): cross-VM edges + external input.
+    ///
+    /// Computed as (external + all edges) − (edges local to `on`), both
+    /// sums in edge order. This total-minus-local formulation is what lets
+    /// the candidate sweep adjust the per-task aggregate for each
+    /// predecessor-hosting VM in O(1) — the naive path uses the identical
+    /// expression so the two stay bit-for-bit equal. For a new VM (or a VM
+    /// hosting no predecessor) the local sum is 0.0 and the value equals
+    /// the plain in-order sum of all inputs.
     pub fn input_bytes(&self, t: TaskId, on: Option<VmId>) -> f64 {
-        let mut bytes = self.wf.task(t).external_input;
+        let mut total = self.wf.task(t).external_input;
+        let mut local = 0.0f64;
         for &e in self.wf.in_edges(t) {
             let edge = self.wf.edge(e);
-            let pred_vm = self.schedule.assignment(edge.from);
-            if pred_vm != on || on.is_none() {
-                bytes += edge.size;
+            total += edge.size;
+            if on.is_some() && self.schedule.assignment(edge.from) == on {
+                local += edge.size;
             }
         }
-        bytes
+        total - local
+    }
+
+    /// Evaluation of `t` on the used VM `vm`, given the task's remote input
+    /// bytes and data-ready instant as seen from that VM. Shared by the
+    /// naive per-candidate path and the aggregated sweep so both perform
+    /// bit-identical arithmetic.
+    #[inline]
+    fn eval_used_with(&self, t: TaskId, vm: VmId, d_in: f64, data_ready: f64) -> HostEval {
+        let bw = self.platform.datacenter.bandwidth;
+        let w = self.weights[t.index()];
+        let cat = self.platform.category(self.schedule.vm_category(vm));
+        let begin = self.vm_ready[vm.index()].max(data_ready);
+        // The idle gap this assignment creates on the VM is billed
+        // too — the machine stays rented while waiting for the
+        // task's inputs. Without this term, packing late tasks
+        // onto early VMs looks free and the planned cost can
+        // undershoot the real bill badly on hub-join topologies.
+        let gap = begin - self.vm_ready[vm.index()];
+        let occupied = d_in / bw + w / cat.speed;
+        HostEval {
+            candidate: Candidate::Used(vm),
+            eft: begin + occupied,
+            begin,
+            cost: (gap + occupied) * cat.cost_per_second(),
+        }
+    }
+
+    /// Evaluation of `t` on a fresh VM of `cat_id`; see [`Self::eval_used_with`].
+    #[inline]
+    fn eval_new_with(&self, t: TaskId, cat_id: CategoryId, d_in: f64, data_ready: f64) -> HostEval {
+        let bw = self.platform.datacenter.bandwidth;
+        let w = self.weights[t.index()];
+        let cat = self.platform.category(cat_id);
+        let occupied = d_in / bw + w / cat.speed;
+        HostEval {
+            candidate: Candidate::New(cat_id),
+            eft: data_ready + cat.boot_time + occupied,
+            begin: data_ready,
+            cost: occupied * cat.cost_per_second() + cat.init_cost,
+        }
     }
 
     /// Evaluate `t` on `candidate`: EFT per Eq. 7 and cost `ct_{T,host}`.
+    ///
+    /// This is the naive per-candidate path — it re-walks `t`'s in-edges on
+    /// every call. Hot loops should sweep all candidates at once through
+    /// [`Self::with_candidate_evals`] instead, which produces bit-identical
+    /// results in O(V + K + deg) per sweep.
     pub fn evaluate(&self, t: TaskId, candidate: Candidate) -> HostEval {
-        let bw = self.platform.datacenter.bandwidth;
-        let w = self.weights[t.index()];
         match candidate {
-            Candidate::Used(vm) => {
-                let cat = self.platform.category(self.schedule.vm_category(vm));
-                let d_in = self.input_bytes(t, Some(vm));
-                let data_ready = self.data_ready_at_dc(t, Some(vm));
-                let begin = self.vm_ready[vm.index()].max(data_ready);
-                // The idle gap this assignment creates on the VM is billed
-                // too — the machine stays rented while waiting for the
-                // task's inputs. Without this term, packing late tasks
-                // onto early VMs looks free and the planned cost can
-                // undershoot the real bill badly on hub-join topologies.
-                let gap = begin - self.vm_ready[vm.index()];
-                let occupied = d_in / bw + w / cat.speed;
-                HostEval {
-                    candidate,
-                    eft: begin + occupied,
-                    begin,
-                    cost: (gap + occupied) * cat.cost_per_second(),
-                }
-            }
-            Candidate::New(cat_id) => {
-                let cat = self.platform.category(cat_id);
-                let d_in = self.input_bytes(t, None);
-                let begin = self.data_ready_at_dc(t, None);
-                let occupied = d_in / bw + w / cat.speed;
-                HostEval {
-                    candidate,
-                    eft: begin + cat.boot_time + occupied,
-                    begin,
-                    cost: occupied * cat.cost_per_second() + cat.init_cost,
-                }
-            }
+            Candidate::Used(vm) => self.eval_used_with(
+                t,
+                vm,
+                self.input_bytes(t, Some(vm)),
+                self.data_ready_at_dc(t, Some(vm)),
+            ),
+            Candidate::New(cat_id) => self.eval_new_with(
+                t,
+                cat_id,
+                self.input_bytes(t, None),
+                self.data_ready_at_dc(t, None),
+            ),
         }
     }
 
-    /// Evaluate `t` on every candidate.
+    /// Evaluate `t` on every candidate, allocating a fresh vector.
+    ///
+    /// Retained as the naive reference implementation (the equivalence
+    /// suite compares the fast sweep against it); schedulers should use
+    /// [`Self::with_candidate_evals`].
     pub fn evaluate_all(&self, t: TaskId) -> Vec<HostEval> {
         self.candidates().into_iter().map(|c| self.evaluate(t, c)).collect()
+    }
+
+    /// Sweep all candidates for `t` into a reusable scratch buffer and hand
+    /// the evaluations to `f`. Candidate order matches [`Self::candidates`]:
+    /// used VMs in enrollment order, then one `New` per category.
+    ///
+    /// The sweep is O(V + K + deg): one pass over the in-edges computes the
+    /// task's base aggregates (total remote bytes, latest data-at-DC
+    /// instant) plus per-VM local sums/maxima for the ≤ deg VMs hosting a
+    /// predecessor, which are then folded into O(1) per-VM adjustments
+    /// (total-minus-local bytes, top-two exclusion for the data-ready
+    /// maximum). Evaluations are bit-identical to [`Self::evaluate`]: byte
+    /// sums run over the in-edges in the same order as [`Self::input_bytes`]
+    /// and `f64::max` is grouping-insensitive for the finite, non-NaN
+    /// values involved.
+    ///
+    /// No heap allocation occurs once the scratch buffers have grown to the
+    /// current VM count. Do not call `with_candidate_evals` (or anything
+    /// that mutates `self`) from inside `f`: the scratch buffer is borrowed
+    /// for the duration of the closure.
+    pub fn with_candidate_evals<R>(&self, t: TaskId, f: impl FnOnce(&[HostEval]) -> R) -> R {
+        let mut scratch = self.scratch.borrow_mut();
+        let scratch = &mut *scratch;
+        scratch.evals.clear();
+        if self.naive {
+            for vm in self.schedule.vm_ids() {
+                scratch.evals.push(self.evaluate(t, Candidate::Used(vm)));
+            }
+            for cat in self.platform.category_ids() {
+                scratch.evals.push(self.evaluate(t, Candidate::New(cat)));
+            }
+            return f(&scratch.evals);
+        }
+
+        let n_vms = self.vm_ready.len();
+        if scratch.vm_stamp.len() < n_vms {
+            scratch.vm_bytes.resize(n_vms, 0.0);
+            scratch.vm_dready.resize(n_vms, 0.0);
+            scratch.vm_stamp.resize(n_vms, 0);
+        }
+        scratch.stamp += 1;
+        let stamp = scratch.stamp;
+
+        // Pass 1 over in-edges: the base aggregates (valid for every new VM
+        // and every used VM hosting no predecessor of `t`) plus, for each
+        // VM hosting a predecessor, the *local* byte sum and the local
+        // data-ready maximum. Byte totals are summed in edge order so they
+        // match `input_bytes` bit for bit.
+        let mut total_bytes = self.wf.task(t).external_input;
+        let mut dready_all: f64 = 0.0;
+        scratch.pred_vms.clear();
+        for &e in self.wf.in_edges(t) {
+            let edge = self.wf.edge(e);
+            let pred_vm = self
+                .schedule
+                .assignment(edge.from)
+                .expect("predecessors are scheduled before their consumers");
+            total_bytes += edge.size;
+            dready_all = dready_all.max(self.edge_at_dc[e.index()]);
+            let i = pred_vm.index();
+            if scratch.vm_stamp[i] != stamp {
+                scratch.vm_stamp[i] = stamp;
+                scratch.pred_vms.push(pred_vm);
+                scratch.vm_bytes[i] = 0.0;
+                scratch.vm_dready[i] = 0.0;
+            }
+            scratch.vm_bytes[i] += edge.size;
+            scratch.vm_dready[i] = scratch.vm_dready[i].max(self.edge_at_dc[e.index()]);
+        }
+
+        // Pass 2, O(P): per-VM adjustments. Bytes follow `input_bytes`'
+        // total-minus-local formulation directly. The data-ready instant of
+        // a predecessor-hosting VM is the maximum over every *other* VM's
+        // local maximum (each in-edge lives on exactly one VM), which a
+        // top-two scan answers in O(1) per VM — exactly, because `f64::max`
+        // over these finite non-negative values is grouping-insensitive.
+        let mut top_vm = VmId(u32::MAX);
+        let (mut top, mut second) = (0.0f64, 0.0f64);
+        for &v in &scratch.pred_vms {
+            let m = scratch.vm_dready[v.index()];
+            if m > top {
+                (top, second) = (m, top);
+                top_vm = v;
+            } else if m > second {
+                second = m;
+            }
+        }
+
+        // Hoist the per-category base occupied time and rate out of the
+        // per-VM loop: `total_bytes / bw + w / speed` only depends on the
+        // category, and the two divisions dominate the loop body. Computing
+        // the identical expression once per category keeps the results bit
+        // for bit equal to `eval_used_with`.
+        let bw = self.platform.datacenter.bandwidth;
+        let w = self.weights[t.index()];
+        scratch.cat_occupied.clear();
+        scratch.cat_rate.clear();
+        for cat_id in self.platform.category_ids() {
+            let cat = self.platform.category(cat_id);
+            scratch.cat_occupied.push(total_bytes / bw + w / cat.speed);
+            scratch.cat_rate.push(cat.cost_per_second());
+        }
+
+        // Base pass over all used VMs, branch-free: evals land at index
+        // `vm.index()`, so the ≤ deg predecessor-hosting entries can be
+        // patched in place afterwards.
+        let cat_occupied = &scratch.cat_occupied[..];
+        let cat_rate = &scratch.cat_rate[..];
+        scratch.evals.extend(
+            self.vm_ready
+                .iter()
+                .zip(self.schedule.vm_categories())
+                .enumerate()
+                .map(|(i, (&vm_ready, &cat))| {
+                    let begin = vm_ready.max(dready_all);
+                    let gap = begin - vm_ready;
+                    let occupied = cat_occupied[cat.index()];
+                    HostEval {
+                        candidate: Candidate::Used(VmId(i as u32)),
+                        eft: begin + occupied,
+                        begin,
+                        cost: (gap + occupied) * cat_rate[cat.index()],
+                    }
+                }),
+        );
+        for &vm in &scratch.pred_vms {
+            let i = vm.index();
+            let d_in = total_bytes - scratch.vm_bytes[i];
+            let dready = if vm == top_vm { second } else { top };
+            scratch.evals[i] = self.eval_used_with(t, vm, d_in, dready);
+        }
+        for cat in self.platform.category_ids() {
+            scratch
+                .evals
+                .push(self.eval_new_with(t, cat, total_bytes, dready_all));
+        }
+        f(&scratch.evals)
     }
 
     /// Commit the assignment of `t` to `candidate`, updating VM

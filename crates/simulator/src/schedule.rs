@@ -155,6 +155,13 @@ impl Schedule {
         (0..self.vms.len() as u32).map(VmId)
     }
 
+    /// Categories of all enrolled VMs, indexed by VM id. Lets hot loops
+    /// iterate VM metadata without a per-VM method call.
+    #[inline]
+    pub fn vm_categories(&self) -> &[CategoryId] {
+        &self.vms
+    }
+
     /// The VM a task is assigned to, if any.
     #[inline]
     pub fn assignment(&self, task: TaskId) -> Option<VmId> {

@@ -89,7 +89,7 @@ pub fn to_svg(report: &SimulationReport, opts: SvgOptions) -> String {
             tx = x(t.start),
             tw = (x(t.end) - x(t.start)).max(1.0),
             fill = task_color(t.task.0),
-            title = format!(
+            title = format_args!(
                 "{} on {} [{:.1}s – {:.1}s], {:.0} Gflop",
                 t.task, t.vm, t.start, t.end, t.realized_weight
             ),

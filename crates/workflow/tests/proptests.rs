@@ -1,7 +1,12 @@
-//! Property tests over the workflow substrate: every generator, every
-//! analysis, arbitrary shapes.
+//! Randomized invariant tests over the workflow substrate: every
+//! generator, every analysis, arbitrary shapes.
+//!
+//! Formerly proptest-based; now plain seeded loops so the suite builds
+//! offline. Each test draws its cases from a fixed-seed `StdRng`, so
+//! failures are reproducible by case index.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use wfs_workflow::analysis::{
     bottom_levels, critical_path, heft_order, level_of, levels, stats, WeightMode,
 };
@@ -10,83 +15,113 @@ use wfs_workflow::gen::{
 };
 use wfs_workflow::Workflow;
 
+const CASES: u64 = 48;
+
 /// Any benchmark workflow: type × size × seed × σ.
-fn arb_benchmark() -> impl Strategy<Value = Workflow> {
-    (0usize..5, 12usize..120, 0u64..500, 0.0f64..=1.0).prop_map(|(ty, n, seed, sigma)| {
-        let cfg = GenConfig::new(n.max(12), seed).with_sigma_ratio(sigma);
-        match ty {
-            0 => montage(cfg),
-            1 => cybershake(cfg),
-            2 => ligo(cfg),
-            3 => epigenomics(cfg),
-            _ => sipht(cfg),
-        }
-    })
+fn random_benchmark(rng: &mut StdRng) -> Workflow {
+    let ty = rng.gen_range(0..5usize);
+    let n = rng.gen_range(12..120usize);
+    let cfg = GenConfig::new(n, rng.gen_range(0..500u64))
+        .with_sigma_ratio(rng.gen_range(0.0..=1.0f64));
+    match ty {
+        0 => montage(cfg),
+        1 => cybershake(cfg),
+        2 => ligo(cfg),
+        3 => epigenomics(cfg),
+        _ => sipht(cfg),
+    }
 }
 
-fn arb_layered() -> impl Strategy<Value = Workflow> {
-    (1usize..6, 1usize..7, 0.05f64..0.95, 0u64..500).prop_map(|(layers, width, p, seed)| {
-        layered_random(
-            LayeredParams { layers, width, edge_prob: p, work: 100.0, data: 1e6 },
-            GenConfig { tasks: 0, seed, sigma_ratio: 0.5 },
-        )
-    })
+fn random_layered(rng: &mut StdRng) -> Workflow {
+    layered_random(
+        LayeredParams {
+            layers: rng.gen_range(1..6usize),
+            width: rng.gen_range(1..7usize),
+            edge_prob: rng.gen_range(0.05..0.95f64),
+            work: 100.0,
+            data: 1e6,
+        },
+        GenConfig {
+            tasks: 0,
+            seed: rng.gen_range(0..500u64),
+            sigma_ratio: 0.5,
+        },
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Generators always emit valid DAGs with positive weights and
-    /// non-negative data, hitting the exact task count.
-    #[test]
-    fn benchmark_generators_sound(wf in arb_benchmark()) {
-        prop_assert!(wf.task_count() >= 12);
-        prop_assert_eq!(wf.topological_order().len(), wf.task_count());
+/// Generators always emit valid DAGs with positive weights and
+/// non-negative data, hitting the exact task count.
+#[test]
+fn benchmark_generators_sound() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD00D_0001 + case);
+        let wf = random_benchmark(&mut rng);
+        assert!(wf.task_count() >= 12, "case {case}");
+        assert_eq!(wf.topological_order().len(), wf.task_count(), "case {case}");
         for t in wf.tasks() {
-            prop_assert!(t.weight.mean > 0.0);
-            prop_assert!(t.weight.std_dev >= 0.0);
-            prop_assert!(t.external_input >= 0.0 && t.external_output >= 0.0);
+            assert!(t.weight.mean > 0.0, "case {case}");
+            assert!(t.weight.std_dev >= 0.0, "case {case}");
+            assert!(
+                t.external_input >= 0.0 && t.external_output >= 0.0,
+                "case {case}"
+            );
         }
         for e in wf.edges() {
-            prop_assert!(e.size >= 0.0);
+            assert!(e.size >= 0.0, "case {case}");
         }
         // Round-trips through JSON.
         let back = Workflow::from_json(&wf.to_json()).unwrap();
-        prop_assert_eq!(back.task_count(), wf.task_count());
+        assert_eq!(back.task_count(), wf.task_count(), "case {case}");
     }
+}
 
-    /// Levels partition the tasks; level(t) > level(pred) for every edge.
-    #[test]
-    fn levels_partition_and_respect_edges(wf in arb_layered()) {
+/// Levels partition the tasks; level(t) > level(pred) for every edge.
+#[test]
+fn levels_partition_and_respect_edges() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD00D_0002 + case);
+        let wf = random_layered(&mut rng);
         let lv = levels(&wf);
         let total: usize = lv.iter().map(Vec::len).sum();
-        prop_assert_eq!(total, wf.task_count());
+        assert_eq!(total, wf.task_count(), "case {case}");
         let depth = level_of(&wf);
         for e in wf.edges() {
-            prop_assert!(depth[e.from.0 as usize] < depth[e.to.0 as usize]);
+            assert!(
+                depth[e.from.0 as usize] < depth[e.to.0 as usize],
+                "case {case}"
+            );
         }
         // Tasks within one level are pairwise independent (no direct edge).
         for layer in &lv {
             for e in wf.edges() {
-                prop_assert!(
+                assert!(
                     !(layer.contains(&e.from) && layer.contains(&e.to)),
-                    "edge inside a level"
+                    "case {case}: edge inside a level"
                 );
             }
         }
     }
+}
 
-    /// Bottom levels decrease along edges and exceed the task's own
-    /// execution time; the HEFT order is a linear extension.
-    #[test]
-    fn bottom_levels_sound(wf in arb_benchmark(), speed in 1.0f64..100.0, bw in 1e6f64..1e9) {
+/// Bottom levels decrease along edges and exceed the task's own
+/// execution time; the HEFT order is a linear extension.
+#[test]
+fn bottom_levels_sound() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD00D_0003 + case);
+        let wf = random_benchmark(&mut rng);
+        let speed = rng.gen_range(1.0..100.0f64);
+        let bw = rng.gen_range(1e6..1e9f64);
         let rank = bottom_levels(&wf, WeightMode::Conservative, speed, bw);
         for t in wf.task_ids() {
             let own = wf.task(t).weight.conservative() / speed;
-            prop_assert!(rank[t.0 as usize] >= own - 1e-9);
+            assert!(rank[t.0 as usize] >= own - 1e-9, "case {case}");
         }
         for e in wf.edges() {
-            prop_assert!(rank[e.from.0 as usize] > rank[e.to.0 as usize]);
+            assert!(
+                rank[e.from.0 as usize] > rank[e.to.0 as usize],
+                "case {case}"
+            );
         }
         let order = heft_order(&wf, WeightMode::Conservative, speed, bw);
         let mut pos = vec![0usize; wf.task_count()];
@@ -94,22 +129,35 @@ proptest! {
             pos[t.0 as usize] = i;
         }
         for e in wf.edges() {
-            prop_assert!(pos[e.from.0 as usize] < pos[e.to.0 as usize]);
+            assert!(
+                pos[e.from.0 as usize] < pos[e.to.0 as usize],
+                "case {case}"
+            );
         }
     }
+}
 
-    /// The critical path is a real path from an entry to an exit whose
-    /// length matches the maximal bottom level.
-    #[test]
-    fn critical_path_is_a_real_path(wf in arb_benchmark()) {
+/// The critical path is a real path from an entry to an exit whose
+/// length matches the maximal bottom level.
+#[test]
+fn critical_path_is_a_real_path() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD00D_0004 + case);
+        let wf = random_benchmark(&mut rng);
         let (path, len) = critical_path(&wf, WeightMode::Mean, 10.0, 125e6);
-        prop_assert!(!path.is_empty());
-        prop_assert!(wf.predecessors(path[0]).count() == 0, "starts at an entry");
-        prop_assert!(wf.successors(*path.last().unwrap()).count() == 0, "ends at an exit");
+        assert!(!path.is_empty(), "case {case}");
+        assert!(
+            wf.predecessors(path[0]).count() == 0,
+            "case {case}: starts at an entry"
+        );
+        assert!(
+            wf.successors(*path.last().unwrap()).count() == 0,
+            "case {case}: ends at an exit"
+        );
         for w in path.windows(2) {
-            prop_assert!(
+            assert!(
                 wf.successors(w[0]).any(|s| s == w[1]),
-                "consecutive path tasks not connected"
+                "case {case}: consecutive path tasks not connected"
             );
         }
         let rank = bottom_levels(&wf, WeightMode::Mean, 10.0, 125e6);
@@ -117,29 +165,41 @@ proptest! {
             .entry_tasks()
             .map(|t| rank[t.0 as usize])
             .fold(f64::MIN, f64::max);
-        prop_assert!((len - max_entry_rank).abs() < 1e-6);
+        assert!((len - max_entry_rank).abs() < 1e-6, "case {case}");
     }
+}
 
-    /// Stats are internally consistent.
-    #[test]
-    fn stats_consistent(wf in arb_benchmark()) {
+/// Stats are internally consistent.
+#[test]
+fn stats_consistent() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD00D_0005 + case);
+        let wf = random_benchmark(&mut rng);
         let s = stats(&wf);
-        prop_assert_eq!(s.tasks, wf.task_count());
-        prop_assert_eq!(s.edges, wf.edge_count());
-        prop_assert!(s.width >= 1 && s.width <= s.tasks);
-        prop_assert!(s.depth >= 1 && s.depth <= s.tasks);
-        prop_assert!(s.entries >= 1 && s.exits >= 1);
-        prop_assert!(s.width * s.depth >= s.tasks, "width*depth bounds tasks");
-        prop_assert!((s.total_work - wf.total_mean_work()).abs() < 1e-6);
+        assert_eq!(s.tasks, wf.task_count(), "case {case}");
+        assert_eq!(s.edges, wf.edge_count(), "case {case}");
+        assert!(s.width >= 1 && s.width <= s.tasks, "case {case}");
+        assert!(s.depth >= 1 && s.depth <= s.tasks, "case {case}");
+        assert!(s.entries >= 1 && s.exits >= 1, "case {case}");
+        assert!(s.width * s.depth >= s.tasks, "case {case}: width*depth bounds tasks");
+        assert!((s.total_work - wf.total_mean_work()).abs() < 1e-6, "case {case}");
     }
+}
 
-    /// σ re-scaling is idempotent in distribution parameters.
-    #[test]
-    fn sigma_rescale(wf in arb_benchmark(), r in 0.0f64..=1.0) {
+/// σ re-scaling is idempotent in distribution parameters.
+#[test]
+fn sigma_rescale() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD00D_0006 + case);
+        let wf = random_benchmark(&mut rng);
+        let r = rng.gen_range(0.0..=1.0f64);
         let scaled = wf.clone().with_sigma_ratio(r);
         for (a, b) in wf.tasks().iter().zip(scaled.tasks()) {
-            prop_assert_eq!(a.weight.mean, b.weight.mean);
-            prop_assert!((b.weight.std_dev - r * b.weight.mean).abs() < 1e-9);
+            assert_eq!(a.weight.mean, b.weight.mean, "case {case}");
+            assert!(
+                (b.weight.std_dev - r * b.weight.mean).abs() < 1e-9,
+                "case {case}"
+            );
         }
     }
 }

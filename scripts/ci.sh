@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Offline CI: build, test, lint, and a one-iteration benchmark smoke run.
+# Run from the repository root: ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release (workspace)"
+cargo build --release --workspace
+
+echo "== cargo test -q (workspace)"
+cargo test -q --release --workspace
+
+echo "== cargo clippy -- -D warnings (workspace, all targets)"
+cargo clippy --release --workspace --all-targets -- -D warnings
+
+echo "== quickbench smoke (1 iteration)"
+cargo run --release -p wfs-bench --bin quickbench -- 1 >/dev/null
+test -s BENCH_sched_time.json
+echo "BENCH_sched_time.json written"
+
+echo "CI OK"

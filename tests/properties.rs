@@ -1,29 +1,32 @@
-//! Property-based tests over random DAGs, platforms and budgets: the
+//! Randomized invariant tests over random DAGs, platforms and budgets: the
 //! invariants every schedule/simulation must uphold regardless of input.
+//!
+//! Formerly proptest-based; now plain seeded loops so the suite builds
+//! offline. Each test draws its cases from a fixed-seed `StdRng`, so
+//! failures are reproducible by case index.
 
 use budget_sched::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 24;
 
 /// Random layered workflow: 2–5 layers, 1–6 wide, random density.
-fn arb_workflow() -> impl Strategy<Value = Workflow> {
-    (2usize..=5, 1usize..=6, 0.1f64..0.9, 0u64..1000, 0.0f64..=1.0).prop_map(
-        |(layers, width, edge_prob, seed, sigma)| {
-            layered_random(
-                LayeredParams {
-                    layers,
-                    width,
-                    edge_prob,
-                    work: 500.0,
-                    data: 20e6,
-                },
-                GenConfig { tasks: 0, seed, sigma_ratio: sigma },
-            )
+fn random_workflow(rng: &mut StdRng) -> Workflow {
+    layered_random(
+        LayeredParams {
+            layers: rng.gen_range(2..=5usize),
+            width: rng.gen_range(1..=6usize),
+            edge_prob: rng.gen_range(0.1..0.9f64),
+            work: 500.0,
+            data: 20e6,
+        },
+        GenConfig {
+            tasks: 0,
+            seed: rng.gen_range(0..1000u64),
+            sigma_ratio: rng.gen_range(0.0..=1.0f64),
         },
     )
-}
-
-fn arb_budget_mult() -> impl Strategy<Value = f64> {
-    1.0f64..20.0
 }
 
 fn floor(wf: &Workflow, p: &Platform) -> f64 {
@@ -32,73 +35,93 @@ fn floor(wf: &Workflow, p: &Platform) -> f64 {
         .total_cost
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every algorithm yields a schedule that validates and simulates, with
-    /// precedence respected in the realized execution.
-    #[test]
-    fn schedules_always_valid_and_precedence_safe(
-        wf in arb_workflow(),
-        mult in arb_budget_mult(),
-        seed in 0u64..50,
-    ) {
+/// Every algorithm yields a schedule that validates and simulates, with
+/// precedence respected in the realized execution.
+#[test]
+fn schedules_always_valid_and_precedence_safe() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0001 + case);
+        let wf = random_workflow(&mut rng);
+        let mult = rng.gen_range(1.0..20.0f64);
+        let seed = rng.gen_range(0..50u64);
         let p = Platform::paper_default();
         let budget = floor(&wf, &p) * mult;
-        for alg in [Algorithm::MinMinBudg, Algorithm::HeftBudg, Algorithm::Bdt, Algorithm::Cg] {
+        for alg in [
+            Algorithm::MinMinBudg,
+            Algorithm::HeftBudg,
+            Algorithm::Bdt,
+            Algorithm::Cg,
+        ] {
             let s = alg.run(&wf, &p, budget);
-            prop_assert!(s.validate(&wf).is_ok(), "{alg}");
+            assert!(s.validate(&wf).is_ok(), "case {case}: {alg}");
             let r = simulate(&wf, &p, &s, &SimConfig::stochastic(seed)).unwrap();
             for e in wf.edges() {
-                prop_assert!(
+                assert!(
                     r.task(e.to).start >= r.task(e.from).end - 1e-9,
-                    "{alg}: edge {:?} violated", e
+                    "case {case}: {alg}: edge {e:?} violated"
                 );
             }
             for t in &r.tasks {
-                prop_assert!(t.end >= t.start);
-                prop_assert!(t.realized_weight > 0.0);
+                assert!(t.end >= t.start, "case {case}: {alg}");
+                assert!(t.realized_weight > 0.0, "case {case}: {alg}");
             }
         }
     }
+}
 
-    /// Cost breakdown always adds up, and VM accounting is consistent.
-    #[test]
-    fn report_accounting_consistent(wf in arb_workflow(), seed in 0u64..50) {
+/// Cost breakdown always adds up, and VM accounting is consistent.
+#[test]
+fn report_accounting_consistent() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0002 + case);
+        let wf = random_workflow(&mut rng);
+        let seed = rng.gen_range(0..50u64);
         let p = Platform::paper_default();
         let s = Algorithm::HeftBudg.run(&wf, &p, floor(&wf, &p) * 3.0);
         let r = simulate(&wf, &p, &s, &SimConfig::stochastic(seed)).unwrap();
-        prop_assert!((r.total_cost - (r.vm_cost + r.datacenter_cost)).abs() < 1e-9);
+        assert!((r.total_cost - (r.vm_cost + r.datacenter_cost)).abs() < 1e-9);
         let vm_sum: f64 = r.vms.iter().map(|v| v.cost).sum();
-        prop_assert!((vm_sum - r.vm_cost).abs() < 1e-9);
+        assert!((vm_sum - r.vm_cost).abs() < 1e-9, "case {case}");
         let tasks_sum: usize = r.vms.iter().map(|v| v.tasks_run).sum();
-        prop_assert_eq!(tasks_sum, wf.task_count());
+        assert_eq!(tasks_sum, wf.task_count(), "case {case}");
         for v in &r.vms {
-            prop_assert!(v.ready_at >= v.booked_at);
-            prop_assert!(v.released_at >= v.ready_at - 1e-9);
+            assert!(v.ready_at >= v.booked_at, "case {case}");
+            assert!(v.released_at >= v.ready_at - 1e-9, "case {case}");
         }
-        prop_assert!(r.vms_used <= s.vm_count());
+        assert!(r.vms_used <= s.vm_count(), "case {case}");
     }
+}
 
-    /// Billing granularity ordering: continuous <= per-second <= per-hour.
-    #[test]
-    fn billing_granularity_monotone(wf in arb_workflow(), seed in 0u64..50) {
+/// Billing granularity ordering: continuous <= per-second <= per-hour.
+#[test]
+fn billing_granularity_monotone() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0003 + case);
+        let wf = random_workflow(&mut rng);
+        let seed = rng.gen_range(0..50u64);
         let base = Platform::paper_default();
         let s = Algorithm::HeftBudg.run(&wf, &base, floor(&wf, &base) * 3.0);
         let cost = |billing| {
             let p = Platform::paper_default().with_billing(billing);
-            simulate(&wf, &p, &s, &SimConfig::stochastic(seed)).unwrap().total_cost
+            simulate(&wf, &p, &s, &SimConfig::stochastic(seed))
+                .unwrap()
+                .total_cost
         };
         let c = cost(BillingPolicy::Continuous);
         let s1 = cost(BillingPolicy::PerSecond);
         let h = cost(BillingPolicy::PerHour);
-        prop_assert!(c <= s1 + 1e-9);
-        prop_assert!(s1 <= h + 1e-9);
+        assert!(c <= s1 + 1e-9, "case {case}");
+        assert!(s1 <= h + 1e-9, "case {case}");
     }
+}
 
-    /// A finite datacenter capacity can only delay the execution.
-    #[test]
-    fn finite_dc_capacity_never_speeds_up(wf in arb_workflow(), seed in 0u64..50) {
+/// A finite datacenter capacity can only delay the execution.
+#[test]
+fn finite_dc_capacity_never_speeds_up() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0004 + case);
+        let wf = random_workflow(&mut rng);
+        let seed = rng.gen_range(0..50u64);
         let p = Platform::paper_default();
         let s = Algorithm::HeftBudg.run(&wf, &p, floor(&wf, &p) * 3.0);
         let inf = simulate(&wf, &p, &s, &SimConfig::stochastic(seed)).unwrap();
@@ -109,46 +132,71 @@ proptest! {
             &SimConfig::stochastic(seed).with_dc_capacity(p.datacenter.bandwidth * 1.5),
         )
         .unwrap();
-        prop_assert!(lim.makespan >= inf.makespan - 1e-6);
+        assert!(lim.makespan >= inf.makespan - 1e-6, "case {case}");
     }
+}
 
-    /// Conservative weights dominate mean weights for a fixed schedule.
-    #[test]
-    fn conservative_dominates_mean(wf in arb_workflow()) {
+/// Conservative weights dominate mean weights for a fixed schedule.
+#[test]
+fn conservative_dominates_mean() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0005 + case);
+        let wf = random_workflow(&mut rng);
         let p = Platform::paper_default();
         let s = Algorithm::HeftBudg.run(&wf, &p, floor(&wf, &p) * 3.0);
         let mean = simulate(&wf, &p, &s, &SimConfig::new(WeightModel::Mean)).unwrap();
         let cons = simulate(&wf, &p, &s, &SimConfig::planning()).unwrap();
-        prop_assert!(cons.makespan >= mean.makespan - 1e-9);
+        assert!(cons.makespan >= mean.makespan - 1e-9, "case {case}");
     }
+}
 
-    /// Budget division: shares are non-negative and sum to B_calc.
-    #[test]
-    fn budget_shares_partition_b_calc(wf in arb_workflow(), b in 0.0f64..100.0) {
+/// Budget division: shares are non-negative and sum to B_calc.
+#[test]
+fn budget_shares_partition_b_calc() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0006 + case);
+        let wf = random_workflow(&mut rng);
+        let b = rng.gen_range(0.0..100.0f64);
         let p = Platform::paper_default();
         let split = divide_budget(&wf, &p, b);
-        prop_assert!(split.shares.iter().all(|&s| s >= 0.0));
+        assert!(split.shares.iter().all(|&s| s >= 0.0), "case {case}");
         let sum: f64 = split.shares.iter().sum();
-        prop_assert!((sum - split.b_calc).abs() < 1e-6 * split.b_calc.max(1.0));
-        prop_assert!(split.b_calc <= b + 1e-9);
+        assert!(
+            (sum - split.b_calc).abs() < 1e-6 * split.b_calc.max(1.0),
+            "case {case}"
+        );
+        assert!(split.b_calc <= b + 1e-9, "case {case}");
     }
+}
 
-    /// Simulation is a pure function of (workflow, schedule, config).
-    #[test]
-    fn simulation_deterministic(wf in arb_workflow(), seed in 0u64..50) {
+/// Simulation is a pure function of (workflow, schedule, config).
+#[test]
+fn simulation_deterministic() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0007 + case);
+        let wf = random_workflow(&mut rng);
+        let seed = rng.gen_range(0..50u64);
         let p = Platform::paper_default();
         let s = Algorithm::MinMinBudg.run(&wf, &p, floor(&wf, &p) * 2.0);
         let a = simulate(&wf, &p, &s, &SimConfig::stochastic(seed)).unwrap();
         let b = simulate(&wf, &p, &s, &SimConfig::stochastic(seed)).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    /// Workflow JSON round-trips structurally.
-    #[test]
-    fn workflow_json_roundtrip(wf in arb_workflow()) {
+/// Workflow JSON round-trips structurally.
+#[test]
+fn workflow_json_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0008 + case);
+        let wf = random_workflow(&mut rng);
         let back = Workflow::from_json(&wf.to_json()).unwrap();
-        prop_assert_eq!(back.task_count(), wf.task_count());
-        prop_assert_eq!(back.edge_count(), wf.edge_count());
-        prop_assert_eq!(back.topological_order(), wf.topological_order());
+        assert_eq!(back.task_count(), wf.task_count(), "case {case}");
+        assert_eq!(back.edge_count(), wf.edge_count(), "case {case}");
+        assert_eq!(
+            back.topological_order(),
+            wf.topological_order(),
+            "case {case}"
+        );
     }
 }

@@ -1,0 +1,237 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the bench files use (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`) with a simple wall-clock harness:
+//! each benchmark is warmed up, then timed over `sample_size` samples whose
+//! per-iteration medians are reported on stdout. No statistics beyond the
+//! median, no plots, no saved baselines — just enough to keep
+//! `cargo bench` runnable without network access.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark: a function name plus an optional
+/// parameter rendered via `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, like criterion's grouped ids.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { id: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Runs closures and records their timing.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// Median ns/iter of the last `iter` call.
+    last_median_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its return value alive so the work is not
+    /// optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget elapses, and use the
+        // observed speed to size the measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        let samples = self.sample_size.max(2);
+        let budget = self.measurement.as_secs_f64();
+        let iters_per_sample =
+            ((budget / samples as f64 / per_iter.max(1e-9)).round() as u64).max(1);
+
+        let mut medians: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            medians.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        medians.sort_by(|a, b| a.total_cmp(b));
+        self.last_median_ns = medians[medians.len() / 2];
+    }
+}
+
+/// A named group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the warm-up duration for benchmarks in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement duration for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            last_median_ns: f64::NAN,
+        };
+        f(&mut b);
+        println!(
+            "{}/{}: median {}",
+            self.name,
+            id.id,
+            format_ns(b.last_median_ns)
+        );
+        self
+    }
+
+    /// Run one benchmark that takes an input by reference.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (stdout-only harness: nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "n/a (no iter call)".to_string()
+    } else if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    // Defaults mirror criterion's 3 s warm-up / 5 s measurement / 100
+    // samples, which the bench files override per group anyway.
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// No-op (this harness never plots); kept for API compatibility.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Define a benchmark group: either `criterion_group!(name, target, ...)`
+/// or the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,39 @@
+//! Helpers the `serde_derive` stand-in generates calls to.
+
+use crate::{Deserialize, Error, Value};
+
+/// Extract and convert the field `name` from an object value.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v {
+        Value::Object(fields) => match fields.iter().find(|(k, _)| k == name) {
+            Some((_, fv)) => T::from_value(fv)
+                .map_err(|e| Error::msg(format!("field `{name}`: {e}"))),
+            None => {
+                // Missing fields still deserialize when the target accepts
+                // `null` (e.g. `Option`), matching serde's common usage.
+                T::from_value(&Value::Null)
+                    .map_err(|_| Error::msg(format!("missing field `{name}`")))
+            }
+        },
+        other => Err(Error::msg(format!("expected object, got {}", other.kind()))),
+    }
+}
+
+/// Extract element `i` of an array value (tuple-struct fields).
+pub fn element<T: Deserialize>(v: &Value, i: usize) -> Result<T, Error> {
+    match v {
+        Value::Array(xs) => match xs.get(i) {
+            Some(x) => T::from_value(x),
+            None => Err(Error::msg(format!("missing tuple element {i}"))),
+        },
+        other => Err(Error::msg(format!("expected array, got {}", other.kind()))),
+    }
+}
+
+/// Error for an unknown enum variant string.
+pub fn unknown_variant(ty: &str, got: &Value) -> Error {
+    match got {
+        Value::String(s) => Error::msg(format!("unknown variant `{s}` for {ty}")),
+        other => Error::msg(format!("expected string variant for {ty}, got {}", other.kind())),
+    }
+}
