@@ -1,0 +1,207 @@
+//! The explicit allowlist for the banned-pattern scanner.
+//!
+//! `analyze-allow.txt` pins, per `(file, rule)`, exactly how many matches
+//! are accepted. Pinned counts make the list self-policing in both
+//! directions: a *new* banned pattern overshoots its entry and fails CI,
+//! and a *removed* one leaves the entry stale, which also fails CI so the
+//! list can never rot.
+//!
+//! File format — one entry per line, `#` starts a comment:
+//!
+//! ```text
+//! # path (relative, forward slashes)      rule            count
+//! crates/scheduler/src/online.rs          panic-site      2
+//! ```
+
+use crate::rules::{Finding, ALL_RULES};
+use std::collections::BTreeMap;
+
+/// Parsed allowlist: `(file, rule) -> allowed count`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Allowlist {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+/// A malformed allowlist line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-indexed line in the allowlist file.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "allowlist line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Allowlist {
+    /// Parse the allowlist file content.
+    pub fn parse(content: &str) -> Result<Self, ParseError> {
+        let mut entries = BTreeMap::new();
+        for (idx, raw) in content.lines().enumerate() {
+            let line = idx + 1;
+            let text = raw.split('#').next().unwrap_or("").trim();
+            if text.is_empty() {
+                continue;
+            }
+            let mut parts = text.split_whitespace();
+            let (Some(file), Some(rule), Some(count)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(ParseError {
+                    line,
+                    message: format!("expected `<file> <rule> <count>`, got `{text}`"),
+                });
+            };
+            if parts.next().is_some() {
+                return Err(ParseError { line, message: format!("trailing fields in `{text}`") });
+            }
+            if !ALL_RULES.contains(&rule) {
+                return Err(ParseError {
+                    line,
+                    message: format!("unknown rule `{rule}` (known: {})", ALL_RULES.join(", ")),
+                });
+            }
+            let count: usize = count.parse().map_err(|_| ParseError {
+                line,
+                message: format!("count `{count}` is not a number"),
+            })?;
+            if count == 0 {
+                return Err(ParseError {
+                    line,
+                    message: "count 0 is meaningless — delete the entry instead".to_string(),
+                });
+            }
+            let key = (file.to_string(), rule.to_string());
+            if entries.insert(key, count).is_some() {
+                return Err(ParseError {
+                    line,
+                    message: format!("duplicate entry for `{file} {rule}`"),
+                });
+            }
+        }
+        Ok(Self { entries })
+    }
+
+    /// Reconcile scanner findings against the allowlist.
+    ///
+    /// Returns the findings that remain reportable plus one message per
+    /// stale entry (an entry whose pinned count no longer matches reality:
+    /// both over- and under-shoot are errors, so counts stay pinned).
+    pub fn reconcile(&self, findings: &[Finding]) -> (Vec<Finding>, Vec<String>) {
+        let mut by_key: BTreeMap<(String, String), Vec<&Finding>> = BTreeMap::new();
+        for f in findings {
+            by_key.entry((f.file.clone(), f.rule.to_string())).or_default().push(f);
+        }
+        let mut reported = Vec::new();
+        let mut stale = Vec::new();
+        for (key, group) in &by_key {
+            match self.entries.get(key) {
+                Some(&allowed) if allowed == group.len() => {}
+                Some(&allowed) => {
+                    stale.push(format!(
+                        "{} {}: allowlist pins {} matches but the scanner found {} — \
+                         update analyze-allow.txt to re-pin",
+                        key.0,
+                        key.1,
+                        allowed,
+                        group.len()
+                    ));
+                    reported.extend(group.iter().map(|f| (*f).clone()));
+                }
+                None => reported.extend(group.iter().map(|f| (*f).clone())),
+            }
+        }
+        for (key, &allowed) in &self.entries {
+            if !by_key.contains_key(key) {
+                stale.push(format!(
+                    "{} {}: allowlist pins {} matches but the scanner found none — \
+                     delete the stale entry",
+                    key.0, key.1, allowed
+                ));
+            }
+        }
+        (reported, stale)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the allowlist has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{RULE_NUMERIC_CAST, RULE_PANIC_SITE};
+
+    fn finding(file: &str, rule: crate::rules::RuleId, line: usize) -> Finding {
+        Finding { file: file.to_string(), line, rule, what: String::new() }
+    }
+
+    #[test]
+    fn parses_comments_and_entries() {
+        let a = Allowlist::parse(
+            "# header\n\ncrates/a/src/x.rs panic-site 2  # two justified expects\n",
+        )
+        .unwrap();
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_rule_bad_count_and_duplicates() {
+        assert!(Allowlist::parse("x.rs not-a-rule 1").is_err());
+        assert!(Allowlist::parse("x.rs panic-site many").is_err());
+        assert!(Allowlist::parse("x.rs panic-site 0").is_err());
+        assert!(Allowlist::parse("x.rs panic-site 1\nx.rs panic-site 2").is_err());
+        assert!(Allowlist::parse("x.rs panic-site 1 extra").is_err());
+    }
+
+    #[test]
+    fn exact_match_suppresses() {
+        let a = Allowlist::parse("x.rs panic-site 2").unwrap();
+        let fs = vec![finding("x.rs", RULE_PANIC_SITE, 1), finding("x.rs", RULE_PANIC_SITE, 9)];
+        let (reported, stale) = a.reconcile(&fs);
+        assert!(reported.is_empty());
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn overshoot_reports_and_flags_stale() {
+        let a = Allowlist::parse("x.rs panic-site 1").unwrap();
+        let fs = vec![finding("x.rs", RULE_PANIC_SITE, 1), finding("x.rs", RULE_PANIC_SITE, 9)];
+        let (reported, stale) = a.reconcile(&fs);
+        assert_eq!(reported.len(), 2);
+        assert_eq!(stale.len(), 1);
+    }
+
+    #[test]
+    fn undershoot_is_stale_too() {
+        let a = Allowlist::parse("x.rs panic-site 2\ny.rs numeric-cast 1").unwrap();
+        let fs = vec![finding("x.rs", RULE_PANIC_SITE, 1), finding("x.rs", RULE_PANIC_SITE, 2)];
+        let (reported, stale) = a.reconcile(&fs);
+        assert!(reported.is_empty(), "{reported:?}");
+        assert_eq!(stale.len(), 1, "{stale:?}");
+        assert!(stale[0].contains("y.rs"), "{stale:?}");
+    }
+
+    #[test]
+    fn unlisted_findings_always_report() {
+        let a = Allowlist::default();
+        let fs = vec![finding("z.rs", RULE_NUMERIC_CAST, 3)];
+        let (reported, stale) = a.reconcile(&fs);
+        assert_eq!(reported.len(), 1);
+        assert!(stale.is_empty());
+        assert!(a.is_empty());
+    }
+}

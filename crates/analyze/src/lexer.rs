@@ -1,0 +1,432 @@
+//! A handwritten token scanner for Rust source.
+//!
+//! Deliberately small: it understands exactly enough Rust lexical structure
+//! to let the banned-pattern rules ([`crate::rules`]) operate on *code*
+//! tokens only — comments (line, nested block), string/char literals
+//! (including raw strings) and lifetimes never produce false positives.
+//! It is not a parser; rules match shallow token patterns.
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `as`, `mod`, …).
+    Ident,
+    /// Integer literal (`42`, `0xff`).
+    Int,
+    /// Float literal (`1.0`, `5e8`, `1e-9`, `2.5f64`).
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Operator or punctuation; two-character operators such as `==`, `!=`,
+    /// `::` and `->` are joined into one token.
+    Op,
+}
+
+/// One token with its 1-indexed source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Verbatim text (operators joined; literals include their quotes).
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// True if this token is the operator `op`.
+    pub fn is_op(&self, op: &str) -> bool {
+        self.kind == TokenKind::Op && self.text == op
+    }
+
+    /// True if this token is the identifier `ident`.
+    pub fn is_ident(&self, ident: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == ident
+    }
+}
+
+/// Two-character operators joined into single tokens (longest match first).
+const JOINED_OPS: &[&str] = &[
+    "==", "!=", "<=", ">=", "::", "->", "=>", "&&", "||", "+=", "-=", "*=", "/=", "..",
+];
+
+/// Tokenize `src`, dropping comments and whitespace.
+///
+/// The scanner never fails: unterminated literals simply consume the rest
+/// of the file, which is the pragmatic choice for a lint pass that runs on
+/// code `rustc` already accepted.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    // Advance over `chars[i]`, maintaining the line counter.
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Line comment (`//`, `///`, `//!`).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            bump!();
+            bump!();
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+        // Identifier / keyword — with raw-string lookahead for r"", r#""#,
+        // br"" and b'…' prefixes.
+        if c.is_alphabetic() || c == '_' {
+            let start_line = line;
+            let mut text = String::new();
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                text.push(chars[i]);
+                i += 1;
+            }
+            if (text == "r" || text == "br") && matches!(chars.get(i), Some('"') | Some('#')) {
+                // Raw string: r"…", r#"…"#, …; no escapes inside.
+                let mut hashes = 0usize;
+                while chars.get(i) == Some(&'#') {
+                    hashes += 1;
+                    i += 1;
+                }
+                if chars.get(i) == Some(&'"') {
+                    bump!();
+                    'raw: while i < chars.len() {
+                        if chars[i] == '"' {
+                            let mut ok = true;
+                            for k in 0..hashes {
+                                if chars.get(i + 1 + k) != Some(&'#') {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if ok {
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        bump!();
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text: String::from("r\"…\""),
+                        line: start_line,
+                    });
+                    continue;
+                }
+                // `r#ident` raw identifier: fall through, `#` re-lexes.
+            }
+            if text == "b" && chars.get(i) == Some(&'\'') {
+                // Byte literal b'…': lex the char part below by not
+                // emitting the ident; rewind is unnecessary since the `'`
+                // branch below handles it on the next loop turn with the
+                // prefix already consumed.
+                tokens.push(Token { kind: TokenKind::Ident, text, line: start_line });
+                continue;
+            }
+            tokens.push(Token { kind: TokenKind::Ident, text, line: start_line });
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let start_line = line;
+            let mut text = String::new();
+            let mut is_float = false;
+            if c == '0' && matches!(chars.get(i + 1), Some('x') | Some('b') | Some('o')) {
+                // Radix literal: consume prefix + alphanumerics.
+                text.push(chars[i]);
+                text.push(chars[i + 1]);
+                i += 2;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    text.push(chars[i]);
+                    i += 1;
+                }
+            } else {
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    text.push(chars[i]);
+                    i += 1;
+                }
+                // Fractional part: `.` followed by a digit (so `1.max(2)`
+                // and `0..n` stay integer + punctuation).
+                if chars.get(i) == Some(&'.')
+                    && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    is_float = true;
+                    text.push('.');
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        text.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                // Exponent: `e`/`E` [+/-] digits.
+                if matches!(chars.get(i), Some('e') | Some('E')) {
+                    let mut j = i + 1;
+                    if matches!(chars.get(j), Some('+') | Some('-')) {
+                        j += 1;
+                    }
+                    if chars.get(j).is_some_and(|d| d.is_ascii_digit()) {
+                        is_float = true;
+                        while i < j {
+                            text.push(chars[i]);
+                            i += 1;
+                        }
+                        while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                            text.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                }
+                // Type suffix: f32/f64 forces float; u8/i64/… stays int.
+                let rest: String = chars[i..].iter().take(5).collect();
+                for suffix in ["f32", "f64"] {
+                    if rest.starts_with(suffix) {
+                        is_float = true;
+                        text.push_str(suffix);
+                        i += suffix.len();
+                        break;
+                    }
+                }
+            }
+            tokens.push(Token {
+                kind: if is_float { TokenKind::Float } else { TokenKind::Int },
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+        // String literal with escapes.
+        if c == '"' {
+            let start_line = line;
+            bump!();
+            while i < chars.len() {
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    bump!();
+                    bump!();
+                } else if chars[i] == '"' {
+                    i += 1;
+                    break;
+                } else {
+                    bump!();
+                }
+            }
+            tokens.push(Token { kind: TokenKind::Str, text: String::from("\"…\""), line: start_line });
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            let start_line = line;
+            // `'x'` / `'\n'` are char literals; `'a` / `'static` lifetimes.
+            let is_char = match chars.get(i + 1) {
+                Some('\\') => true,
+                Some(&n) => chars.get(i + 2) == Some(&'\'') && n != '\'',
+                None => false,
+            };
+            if is_char {
+                bump!(); // opening quote
+                if chars[i] == '\\' {
+                    bump!();
+                    bump!();
+                    // Multi-char escapes (\u{…}, \x41): consume to quote.
+                    while i < chars.len() && chars[i] != '\'' {
+                        bump!();
+                    }
+                } else {
+                    bump!();
+                }
+                if i < chars.len() && chars[i] == '\'' {
+                    i += 1;
+                }
+                tokens.push(Token { kind: TokenKind::Char, text: String::from("'…'"), line: start_line });
+            } else {
+                bump!();
+                let mut text = String::from("'");
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    text.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token { kind: TokenKind::Lifetime, text, line: start_line });
+            }
+            continue;
+        }
+        // Operators and punctuation (two-char joins first).
+        let start_line = line;
+        let pair: String = chars[i..chars.len().min(i + 2)].iter().collect();
+        if JOINED_OPS.contains(&pair.as_str()) {
+            i += 2;
+            tokens.push(Token { kind: TokenKind::Op, text: pair, line: start_line });
+        } else {
+            let mut text = String::new();
+            text.push(c);
+            bump!();
+            tokens.push(Token { kind: TokenKind::Op, text, line: start_line });
+        }
+    }
+    tokens
+}
+
+/// Indices of tokens inside `#[cfg(test)]`-gated items (usually `mod tests`
+/// blocks): rules skip these, matching the workspace policy that test code
+/// may panic freely.
+pub fn test_code_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Mask from the attribute through the end of the gated item.
+            let attr_end = i + 7; // "# [ cfg ( test ) ]" spans 7 tokens
+            let mut j = attr_end;
+            // Skip any further attributes stacked on the item.
+            while j < tokens.len() && tokens[j].is_op("#") {
+                let mut depth = 0usize;
+                j += 1; // past '#'
+                while j < tokens.len() {
+                    if tokens[j].is_op("[") {
+                        depth += 1;
+                    } else if tokens[j].is_op("]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            // The item body: everything up to the matching close brace of
+            // its first block, or a terminating `;` (e.g. `mod tests;`).
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                if tokens[j].is_op("{") {
+                    depth += 1;
+                } else if tokens[j].is_op("}") {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                } else if tokens[j].is_op(";") && depth == 0 {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+            for m in mask.iter_mut().take(j).skip(i) {
+                *m = true;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// True if the tokens at `i` spell `#[cfg(test)]`.
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    tokens.len() > i + 6
+        && tokens[i].is_op("#")
+        && tokens[i + 1].is_op("[")
+        && tokens[i + 2].is_ident("cfg")
+        && tokens[i + 3].is_op("(")
+        && tokens[i + 4].is_ident("test")
+        && tokens[i + 5].is_op(")")
+        && tokens[i + 6].is_op("]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_produce_no_code_tokens() {
+        let toks = tokenize(
+            "// unwrap() in a comment\n/* panic! /* nested */ */\nlet s = \"x.unwrap()\";",
+        );
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap") || t.is_ident("panic")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn floats_ints_and_ranges_distinguished() {
+        let toks = tokenize("let a = 1.0; let b = 5e8; let c = 1e-9; let d = 42; for i in 0..n {}");
+        let floats: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Float).map(|t| t.text.as_str()).collect();
+        assert_eq!(floats, ["1.0", "5e8", "1e-9"]);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Int && t.text == "42"));
+        assert!(toks.iter().any(|t| t.is_op("..")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = tokenize("fn f<'a>(x: &'a str, c: char) -> bool { c == 'x' }");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_are_skipped() {
+        let toks = tokenize("let s = r#\"contains .unwrap() and panic!\"#; let t = r\"x\";");
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn joined_operators_and_lines() {
+        let toks = tokenize("a == b\n  && c != 1.5\nx::y");
+        assert!(toks.iter().any(|t| t.is_op("==") && t.line == 1));
+        assert!(toks.iter().any(|t| t.is_op("!=") && t.line == 2));
+        assert!(toks.iter().any(|t| t.is_op("::") && t.line == 3));
+    }
+
+    #[test]
+    fn cfg_test_mask_covers_test_mod_only() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn more() {}";
+        let toks = tokenize(src);
+        let mask = test_code_mask(&toks);
+        for (t, &m) in toks.iter().zip(&mask) {
+            if t.is_ident("unwrap") {
+                assert!(m, "unwrap inside cfg(test) must be masked");
+            }
+            if t.is_ident("more") || t.is_ident("lib") {
+                assert!(!m, "library code must stay unmasked");
+            }
+        }
+    }
+}

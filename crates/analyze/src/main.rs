@@ -1,0 +1,187 @@
+//! `wfs-analyze` — the workspace's static-analysis gate.
+//!
+//! ```text
+//! wfs-analyze --workspace [--root DIR] [--allowlist FILE]
+//!     Run the banned-pattern scanner over the library crates and
+//!     reconcile against the pinned allowlist (default analyze-allow.txt).
+//!
+//! wfs-analyze files <FILE.rs>... [--allowlist FILE]
+//!     Scan explicit files (no allowlist unless given).
+//!
+//! wfs-analyze plan <workflow.json> <platform.json|default> <schedule.json>
+//!             [--report FILE] [--budget B]
+//!     Load a schedule, execute it under the planning model (or take a
+//!     pre-existing report) and run the semantic plan linter.
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings/violations, 2 usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use wfs_analyze::{plan_lint, scan_source, Allowlist, Finding};
+use wfs_platform::Platform;
+use wfs_simulator::{simulate, Schedule, SimConfig, SimulationReport};
+use wfs_workflow::Workflow;
+
+const USAGE: &str = "usage:
+  wfs-analyze --workspace [--root DIR] [--allowlist FILE]
+  wfs-analyze files <FILE.rs>... [--allowlist FILE]
+  wfs-analyze plan <workflow.json> <platform.json|default> <schedule.json> [--report FILE] [--budget B]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("wfs-analyze: {msg}");
+            eprintln!("{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(args: &[String]) -> Result<i32, String> {
+    match args.first().map(String::as_str) {
+        Some("--workspace") => cmd_workspace(&args[1..]),
+        Some("files") => cmd_files(&args[1..]),
+        Some("plan") => cmd_plan(&args[1..]),
+        _ => Err("missing or unknown command".to_string()),
+    }
+}
+
+/// Pull the value of `--flag VALUE` out of `args`, if present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+fn load_allowlist(path: &Path) -> Result<Allowlist, String> {
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read allowlist {}: {e}", path.display()))?;
+    Allowlist::parse(&content).map_err(|e| e.to_string())
+}
+
+/// Report scanner findings and stale-allowlist messages; returns exit code.
+fn report_scan(findings: &[Finding], allowlist: Option<&Allowlist>) -> i32 {
+    let default_allow = Allowlist::default();
+    let allow = allowlist.unwrap_or(&default_allow);
+    let (reported, stale) = allow.reconcile(findings);
+    for f in &reported {
+        println!("{f}");
+    }
+    for s in &stale {
+        println!("stale: {s}");
+    }
+    if reported.is_empty() && stale.is_empty() {
+        println!(
+            "wfs-analyze: clean ({} findings allowlisted across {} entries)",
+            findings.len(),
+            allow.len()
+        );
+        0
+    } else {
+        println!(
+            "wfs-analyze: {} finding(s), {} stale allowlist entr(ies)",
+            reported.len(),
+            stale.len()
+        );
+        1
+    }
+}
+
+fn cmd_workspace(args: &[String]) -> Result<i32, String> {
+    let mut args = args.to_vec();
+    let root = PathBuf::from(take_flag(&mut args, "--root")?.unwrap_or_else(|| ".".to_string()));
+    let allow_path = take_flag(&mut args, "--allowlist")?
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("analyze-allow.txt"));
+    if let Some(extra) = args.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    let allowlist = if allow_path.exists() { Some(load_allowlist(&allow_path)?) } else { None };
+    let findings = wfs_analyze::scan_workspace(&root)
+        .map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    Ok(report_scan(&findings, allowlist.as_ref()))
+}
+
+fn cmd_files(args: &[String]) -> Result<i32, String> {
+    let mut args = args.to_vec();
+    let allowlist = match take_flag(&mut args, "--allowlist")? {
+        Some(p) => Some(load_allowlist(Path::new(&p))?),
+        None => None,
+    };
+    if args.is_empty() {
+        return Err("files: no files given".to_string());
+    }
+    let mut findings = Vec::new();
+    for file in &args {
+        let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        findings.extend(scan_source(file, &src));
+    }
+    Ok(report_scan(&findings, allowlist.as_ref()))
+}
+
+fn cmd_plan(args: &[String]) -> Result<i32, String> {
+    let mut args = args.to_vec();
+    let report_path = take_flag(&mut args, "--report")?;
+    let budget = match take_flag(&mut args, "--budget")? {
+        Some(b) => Some(b.parse::<f64>().map_err(|_| format!("bad budget `{b}`"))?),
+        None => None,
+    };
+    let [wf_path, platform_path, sched_path] = args.as_slice() else {
+        return Err("plan: expected <workflow> <platform|default> <schedule>".to_string());
+    };
+
+    let wf_src = std::fs::read_to_string(wf_path)
+        .map_err(|e| format!("cannot read workflow {wf_path}: {e}"))?;
+    let wf = Workflow::from_json(&wf_src).map_err(|e| format!("bad workflow {wf_path}: {e}"))?;
+    let platform = if platform_path == "default" {
+        Platform::paper_default()
+    } else {
+        let src = std::fs::read_to_string(platform_path)
+            .map_err(|e| format!("cannot read platform {platform_path}: {e}"))?;
+        serde_json::from_str(&src).map_err(|e| format!("bad platform {platform_path}: {e}"))?
+    };
+    let sched_src = std::fs::read_to_string(sched_path)
+        .map_err(|e| format!("cannot read schedule {sched_path}: {e}"))?;
+    let schedule: Schedule =
+        serde_json::from_str(&sched_src).map_err(|e| format!("bad schedule {sched_path}: {e}"))?;
+
+    // A schedule that cannot even execute is reported as a violation of
+    // the plan, not a usage error: exit 1, like any other finding.
+    if let Err(e) = schedule.validate(&wf) {
+        println!("plan: schedule is not executable: {e}");
+        return Ok(1);
+    }
+    let report: SimulationReport = match report_path {
+        Some(p) => {
+            let src =
+                std::fs::read_to_string(&p).map_err(|e| format!("cannot read report {p}: {e}"))?;
+            serde_json::from_str(&src).map_err(|e| format!("bad report {p}: {e}"))?
+        }
+        None => simulate(&wf, &platform, &schedule, &SimConfig::planning())
+            .map_err(|e| format!("simulation failed: {e}"))?,
+    };
+    let violations = plan_lint(&wf, &platform, &schedule, &report, budget);
+    for v in &violations {
+        println!("plan: {v}");
+    }
+    if violations.is_empty() {
+        println!(
+            "wfs-analyze: plan clean (makespan {:.3}s, total cost ${:.6})",
+            report.makespan, report.total_cost
+        );
+        Ok(0)
+    } else {
+        println!("wfs-analyze: {} plan violation(s)", violations.len());
+        Ok(1)
+    }
+}

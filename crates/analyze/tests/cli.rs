@@ -1,0 +1,173 @@
+//! End-to-end tests of the `wfs-analyze` binary: scanner and plan modes,
+//! exit codes, allowlist reconciliation.
+
+// Helper fns in integration-test files miss the tests-only exemption.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use wfs_platform::Platform;
+use wfs_scheduler::Algorithm;
+use wfs_simulator::{simulate, SimConfig};
+use wfs_workflow::gen::{montage, GenConfig};
+
+fn analyze(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_wfs-analyze"))
+        .args(args)
+        .output()
+        .expect("wfs-analyze binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wfs-analyze-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn write(name: &str, content: &str) -> PathBuf {
+    let p = tmp(name);
+    std::fs::write(&p, content).unwrap();
+    p
+}
+
+#[test]
+fn seeded_banned_pattern_fails_the_scan() {
+    let bad = write(
+        "seeded.rs",
+        "pub fn f(a: f64, b: f64) -> std::cmp::Ordering { a.partial_cmp(&b).unwrap() }\n\
+         pub fn g(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let out = analyze(&["files", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("partial-cmp-unwrap"), "{text}");
+    assert!(text.contains("panic-site"), "{text}");
+    assert!(text.contains("seeded.rs:1"), "{text}");
+}
+
+#[test]
+fn clean_file_passes_the_scan() {
+    let good = write(
+        "clean.rs",
+        "pub fn f(a: f64, b: f64) -> std::cmp::Ordering { a.total_cmp(&b) }\n",
+    );
+    let out = analyze(&["files", good.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn allowlist_suppresses_exact_count_and_flags_stale() {
+    let bad = write("allowed.rs", "pub fn g(x: Option<u32>) -> u32 { x.unwrap() }\n");
+    let file = bad.to_str().unwrap().to_string();
+    // Exact pin: clean.
+    let allow = write("allow-ok.txt", &format!("{file} panic-site 1\n"));
+    let out = analyze(&["files", &file, "--allowlist", allow.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    // Overshooting pin: stale entry, non-zero.
+    let allow = write("allow-stale.txt", &format!("{file} panic-site 3\n"));
+    let out = analyze(&["files", &file, "--allowlist", allow.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("stale"), "stale entry must fail");
+}
+
+#[test]
+fn workspace_mode_scans_a_synthetic_tree() {
+    // A miniature workspace root: one library crate with a banned pattern.
+    let root = tmp("ws-root");
+    let src = root.join("crates/workflow/src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(src.join("lib.rs"), "pub fn f() { panic!(\"seeded\"); }\n").unwrap();
+    let out = analyze(&["--workspace", "--root", root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("panic-site"));
+}
+
+#[test]
+fn bad_usage_exits_two() {
+    let out = analyze(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    let out = analyze(&["files"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = analyze(&["plan", "only-one-arg.json"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn plan_mode_accepts_genuine_schedule_and_rejects_corrupted() {
+    let wf = montage(GenConfig::new(30, 4));
+    let platform = Platform::paper_default();
+    let schedule = Algorithm::HeftBudg.run(&wf, &platform, 2.0);
+
+    let wf_path = write("m30.json", &wf.to_json());
+    let sched_path = write("m30-sched.json", &serde_json::to_string(&schedule).unwrap());
+
+    // Genuine schedule, simulated in-process: clean.
+    let out = analyze(&[
+        "plan",
+        wf_path.to_str().unwrap(),
+        "default",
+        sched_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("plan clean"));
+
+    // Corrupted schedule (one task never assigned): validation fails,
+    // exit 1.
+    let mut bad = wfs_simulator::Schedule::new(wf.task_count());
+    let vm = bad.add_vm(platform.cheapest());
+    for t in wf.task_ids().skip(1) {
+        bad.assign(t, vm);
+    }
+    let bad_path = write("m30-bad-sched.json", &serde_json::to_string(&bad).unwrap());
+    let out = analyze(&[
+        "plan",
+        wf_path.to_str().unwrap(),
+        "default",
+        bad_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("not executable"));
+
+    // Corrupted *report* (doctored cost accounting): the linter catches it.
+    let report = simulate(&wf, &platform, &schedule, &SimConfig::planning()).unwrap();
+    let mut doctored = report.clone();
+    doctored.total_cost *= 0.5; // books claim half the real cost
+    let report_path = write("m30-report.json", &serde_json::to_string(&doctored).unwrap());
+    let out = analyze(&[
+        "plan",
+        wf_path.to_str().unwrap(),
+        "default",
+        sched_path.to_str().unwrap(),
+        "--report",
+        report_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("total_cost"));
+
+    // Budget clause: a budget below the genuine cost trips Eq. 3.
+    let out = analyze(&[
+        "plan",
+        wf_path.to_str().unwrap(),
+        "default",
+        sched_path.to_str().unwrap(),
+        "--budget",
+        "0.000001",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("budget"));
+}
+
+#[test]
+fn real_workspace_tip_is_clean() {
+    // The repo's own sources must pass the scan with the checked-in
+    // allowlist — the same invocation CI runs (scripts/ci.sh).
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = analyze(&["--workspace", "--root", root.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace tip not clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

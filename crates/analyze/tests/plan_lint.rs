@@ -1,0 +1,102 @@
+//! Semantic plan-lint coverage over the full algorithm × generator grid.
+//!
+//! Every schedule produced by each of the 13 algorithms, on each of the
+//! five equivalence-suite workloads, across three budget regimes, must
+//! execute to a report the plan linter accepts. This is the tier above the
+//! per-invariant mutation tests in `wfs_simulator::lint`: those prove each
+//! check *fires* on corruption, this proves none of them *misfires* on a
+//! genuine execution of any algorithm.
+
+// Helper fns in integration-test files miss the tests-only exemption.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use wfs_analyze::plan_lint;
+use wfs_platform::Platform;
+use wfs_scheduler::{min_cost_schedule, Algorithm};
+use wfs_simulator::{simulate, SimConfig};
+use wfs_workflow::gen::{chain, cybershake, fork_join, ligo, montage, GenConfig};
+use wfs_workflow::Workflow;
+
+fn workloads() -> Vec<(&'static str, Workflow)> {
+    vec![
+        ("montage-50", montage(GenConfig::new(50, 7))),
+        ("ligo-40", ligo(GenConfig::new(40, 11))),
+        ("cybershake-45", cybershake(GenConfig::new(45, 13))),
+        ("chain-24", chain(24, 800.0, 5e6)),
+        ("fork_join-16", fork_join(16, 1200.0, 2e6)),
+    ]
+}
+
+#[test]
+fn all_algorithms_on_all_workloads_lint_clean() {
+    let platform = Platform::paper_default();
+    let cfg = SimConfig::planning();
+    for (name, wf) in workloads() {
+        // Budget floor: cheapest possible execution of this workload.
+        let floor = simulate(&wf, &platform, &min_cost_schedule(&wf, &platform), &cfg)
+            .unwrap()
+            .total_cost;
+        for mult in [1.05, 1.5, 3.0] {
+            let budget = floor * mult;
+            for alg in Algorithm::ALL {
+                let schedule = alg.run(&wf, &platform, budget);
+                let report = simulate(&wf, &platform, &schedule, &cfg)
+                    .unwrap_or_else(|e| panic!("{name}/{alg}/x{mult}: {e}"));
+                let violations = plan_lint(&wf, &platform, &schedule, &report, None);
+                assert!(
+                    violations.is_empty(),
+                    "{name}/{alg}/x{mult}: {} violation(s): {:?}",
+                    violations.len(),
+                    violations
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stochastic_executions_lint_clean_as_well() {
+    // The linter's invariants hold for any weight realization, not just
+    // the deterministic planning model.
+    let platform = Platform::paper_default();
+    let wf = montage(GenConfig::new(50, 7));
+    for alg in [Algorithm::HeftBudg, Algorithm::MinMinBudg, Algorithm::Cg] {
+        let schedule = alg.run(&wf, &platform, 2.0);
+        for seed in [1, 2, 3] {
+            let report =
+                simulate(&wf, &platform, &schedule, &SimConfig::stochastic(seed)).unwrap();
+            let violations = plan_lint(&wf, &platform, &schedule, &report, None);
+            assert!(violations.is_empty(), "{alg}/seed{seed}: {violations:?}");
+        }
+    }
+}
+
+#[test]
+fn budget_clause_flags_overspending_algorithms() {
+    // BDT is the paper's overspender (Fig. 3): on a tight budget its
+    // planned cost exceeds B, which the linter's Eq. 3 clause must report
+    // while the model invariants all stay satisfied.
+    let platform = Platform::paper_default();
+    let cfg = SimConfig::planning();
+    let wf = cybershake(GenConfig::new(45, 13));
+    let floor = simulate(&wf, &platform, &min_cost_schedule(&wf, &platform), &cfg)
+        .unwrap()
+        .total_cost;
+    let budget = floor * 1.05;
+    let schedule = Algorithm::Bdt.run(&wf, &platform, budget);
+    let report = simulate(&wf, &platform, &schedule, &cfg).unwrap();
+    let violations = plan_lint(&wf, &platform, &schedule, &report, Some(budget));
+    if report.total_cost > budget {
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, wfs_analyze::PlanViolation::BudgetExceeded { .. })),
+            "BDT overspent ({} > {budget}) but the linter did not flag it",
+            report.total_cost
+        );
+    }
+    // Whatever the budget outcome, the model invariants must hold.
+    assert!(violations
+        .iter()
+        .all(|v| matches!(v, wfs_analyze::PlanViolation::BudgetExceeded { .. })));
+}

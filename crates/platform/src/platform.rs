@@ -28,10 +28,7 @@ impl Platform {
     pub fn new(mut categories: Vec<VmCategory>, datacenter: Datacenter) -> Self {
         assert!(!categories.is_empty(), "platform needs at least one VM category");
         categories.sort_by(|a, b| {
-            a.cost_per_hour
-                .partial_cmp(&b.cost_per_hour)
-                .expect("costs are finite")
-                .then(a.speed.partial_cmp(&b.speed).expect("speeds are finite"))
+            a.cost_per_hour.total_cmp(&b.cost_per_hour).then(a.speed.total_cmp(&b.speed))
         });
         Self { categories, datacenter, billing: BillingPolicy::PerSecond }
     }
@@ -118,11 +115,15 @@ impl Platform {
 
     /// The fastest category (highest speed; not necessarily the priciest).
     pub fn fastest(&self) -> CategoryId {
-        self.category_ids()
-            .max_by(|a, b| {
-                self.category(*a).speed.partial_cmp(&self.category(*b).speed).expect("finite")
-            })
-            .expect("platform is non-empty")
+        // Like `Iterator::max_by`, keep the *last* maximal element on speed
+        // ties; `total_cmp` keeps the fold well-defined for any input.
+        let mut best = CategoryId(0);
+        for id in self.category_ids() {
+            if self.category(id).speed.total_cmp(&self.category(best).speed).is_ge() {
+                best = id;
+            }
+        }
+        best
     }
 
     /// Mean speed `s̄` over categories — the speed the budget-division
@@ -140,6 +141,7 @@ impl Platform {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
 

@@ -111,7 +111,32 @@ impl Algorithm {
 
     /// Compute a schedule for `wf` on `platform` under `budget` (ignored by
     /// the baselines).
+    ///
+    /// Debug builds additionally execute the plan under the planning model
+    /// and run [`wfs_simulator::plan_lint`] over the result, panicking on
+    /// any violated platform-model invariant (see `DESIGN.md` §8). Release
+    /// builds skip the check entirely.
     pub fn run(self, wf: &Workflow, platform: &Platform, budget: f64) -> Schedule {
+        let schedule = self.run_unchecked(wf, platform, budget);
+        #[cfg(debug_assertions)]
+        {
+            // Budget is deliberately not enforced here: every algorithm has
+            // a best-effort fallback branch that may legitimately overspend
+            // (the paper evaluates exactly that failure mode, Fig. 3).
+            if let Ok(report) =
+                wfs_simulator::simulate(wf, platform, &schedule, &wfs_simulator::SimConfig::planning())
+            {
+                let violations = wfs_simulator::plan_lint(wf, platform, &schedule, &report, None);
+                assert!(
+                    violations.is_empty(),
+                    "{self}: schedule violates platform-model invariants: {violations:?}"
+                );
+            }
+        }
+        schedule
+    }
+
+    fn run_unchecked(self, wf: &Workflow, platform: &Platform, budget: f64) -> Schedule {
         match self {
             Algorithm::MinMin => min_min(wf, platform),
             Algorithm::Heft => heft(wf, platform),
@@ -180,6 +205,7 @@ pub fn min_cost_schedule(wf: &Workflow, platform: &Platform) -> Schedule {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use wfs_simulator::{simulate, SimConfig};

@@ -91,12 +91,14 @@ fn pick_by_tctf(evals: &[HostEval], sub_budget: f64) -> HostEval {
         });
     match affordable {
         Some(e) => *e,
-        None => *evals
-            .iter()
-            .min_by(|a, b| {
-                (a.cost, a.eft).partial_cmp(&(b.cost, b.eft)).expect("finite")
-            })
-            .expect("candidate set is never empty"),
+        None => {
+            #[allow(clippy::expect_used)] // a platform always offers new-VM candidates
+            let cheapest = evals
+                .iter()
+                .min_by(|a, b| a.cost.total_cmp(&b.cost).then(a.eft.total_cmp(&b.eft)))
+                .expect("candidate set is never empty");
+            *cheapest
+        }
     }
 }
 
@@ -108,6 +110,7 @@ fn candidate_key(e: &HostEval) -> (u8, u32) {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use wfs_simulator::{simulate, SimConfig};

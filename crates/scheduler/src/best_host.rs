@@ -5,21 +5,28 @@
 
 use crate::plan::{Candidate, HostEval, PlanState};
 use wfs_simulator::VmId;
-use wfs_workflow::TaskId;
+use wfs_workflow::{OrdF64, TaskId};
 
 /// Tolerance on budget comparisons (absolute, dollars).
 pub(crate) const COST_EPS: f64 = 1e-9;
 
 /// Selection key for the affordable branch: smaller EFT, then cheaper
-/// cost, then used VM before new, then lower id. Strict total order over
-/// distinct candidates (the kind/id pair is unique).
+/// cost, then used VM before new, then lower id. A total order ([`OrdF64`]
+/// makes the float components NaN-safe; the kind/id pair is unique, so the
+/// order is strict over distinct candidates).
 #[inline]
-fn key(e: &HostEval) -> (f64, f64, u8, u32) {
+fn key(e: &HostEval) -> (OrdF64, OrdF64, u8, u32) {
     let (kind, id) = match e.candidate {
         Candidate::Used(vm) => (0u8, vm.0),
         Candidate::New(cat) => (1u8, cat.0),
     };
-    (e.eft, e.cost, kind, id)
+    (OrdF64(e.eft), OrdF64(e.cost), kind, id)
+}
+
+/// Fall-back key (nothing affordable): cheapest, then earliest EFT.
+#[inline]
+fn fallback_key(e: &HostEval) -> (OrdF64, OrdF64) {
+    (OrdF64(e.cost), OrdF64(e.eft))
 }
 
 /// Outcome of one best-host selection, with the metadata the incremental
@@ -58,11 +65,12 @@ pub(crate) fn select(evals: &[HostEval], limit: f64) -> Selection {
         }
         if cheapest
             .as_ref()
-            .is_none_or(|c| (e.cost, e.eft) <= (c.cost, c.eft))
+            .is_none_or(|c| fallback_key(e) <= fallback_key(c))
         {
             cheapest = Some(*e);
         }
     }
+    #[allow(clippy::expect_used)] // evals is non-empty, so all folds are Some
     match aff {
         Some(best) => Selection {
             best,
@@ -94,11 +102,13 @@ pub(crate) fn select_best(evals: &[HostEval], limit: f64) -> HostEval {
     }
     let mut cheapest: Option<&HostEval> = None;
     for e in evals {
-        if cheapest.is_none_or(|c| (e.cost, e.eft) <= (c.cost, c.eft)) {
+        if cheapest.is_none_or(|c| fallback_key(e) <= fallback_key(c)) {
             cheapest = Some(e);
         }
     }
-    *cheapest.expect("a platform always offers new-VM candidates")
+    #[allow(clippy::expect_used)] // evals is non-empty, so the fold is Some
+    let best = cheapest.expect("a platform always offers new-VM candidates");
+    *best
 }
 
 /// Pick the best host for `t` under the planning state `plan`:
@@ -216,7 +226,7 @@ impl BestHostCache {
                     }
                 } else {
                     let interferes = patched.cost <= limit + COST_EPS
-                        || (patched.cost, patched.eft) <= (best.cost, best.eft);
+                        || fallback_key(&patched) <= fallback_key(best);
                     if !interferes {
                         entry.limit = limit;
                         return entry.sel.best;
@@ -231,6 +241,7 @@ impl BestHostCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use crate::plan::PlanState;

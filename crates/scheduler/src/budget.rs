@@ -130,6 +130,7 @@ impl Default for Pot {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use wfs_workflow::gen::{chain, montage, GenConfig};

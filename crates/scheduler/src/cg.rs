@@ -69,6 +69,7 @@ pub fn cg(wf: &Workflow, platform: &Platform, b_ini: f64) -> Schedule {
         // toward the faster category if the global ratio leans rich, the
         // cheaper one otherwise — otherwise CG would degenerate to the
         // cheapest category on linear-price platforms.
+        #[allow(clippy::expect_used)] // a platform has at least one category
         let cat = platform
             .category_ids()
             .min_by(|&a, &b| {
@@ -89,6 +90,7 @@ pub fn cg(wf: &Workflow, platform: &Platform, b_ini: f64) -> Schedule {
             })
             .expect("platform is non-empty");
         // Instance: best EFT among used VMs of that category + a fresh one.
+        #[allow(clippy::expect_used)] // the fresh VM of `cat` is always a candidate
         let best = plan.with_candidate_evals(t, |evals| {
             evals
                 .iter()
@@ -116,6 +118,7 @@ pub fn cg_plus(wf: &Workflow, platform: &Platform, b_ini: f64) -> Schedule {
         pos[t.index()] = i;
     }
 
+    #[allow(clippy::expect_used)] // CG emits a complete, validated schedule
     let mut report = simulate(wf, platform, &sched, &cfg).expect("CG emits a valid schedule");
     // Bounded loop: each accepted move strictly decreases the makespan;
     // n*vm_count is a generous cap against float-cycling.
@@ -123,6 +126,7 @@ pub fn cg_plus(wf: &Workflow, platform: &Platform, b_ini: f64) -> Schedule {
         let path = critical_path_tasks(wf, &report);
         let mut best: Option<(Schedule, SimulationReport, f64)> = None;
         for &t in &path {
+            #[allow(clippy::expect_used)] // CG assigns every task
             let cur = sched.assignment(t).expect("complete schedule");
             let mut trials: Vec<Schedule> = Vec::new();
             for vm in sched.vm_ids().filter(|&v| v != cur) {
@@ -204,6 +208,7 @@ fn critical_path_tasks(wf: &Workflow, report: &SimulationReport) -> Vec<TaskId> 
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use wfs_workflow::gen::{cybershake, ligo, montage, GenConfig};

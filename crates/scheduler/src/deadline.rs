@@ -43,6 +43,7 @@ pub fn plan_bicriteria(
     budget: f64,
 ) -> Bicriteria {
     let cfg = SimConfig::planning();
+    #[allow(clippy::expect_used)] // min_cost_schedule is valid by construction
     let floor = simulate(wf, platform, &crate::min_cost_schedule(wf, platform), &cfg)
         .expect("min-cost schedule is valid")
         .total_cost;
@@ -50,6 +51,7 @@ pub fn plan_bicriteria(
         return Bicriteria::BudgetInfeasible { min_cost: floor };
     }
     let (schedule, _) = heft_budg(wf, platform, budget);
+    #[allow(clippy::expect_used)] // HEFTBUDG emits a complete, validated schedule
     let planned = simulate(wf, platform, &schedule, &cfg).expect("HEFTBUDG schedule is valid");
     if planned.makespan <= deadline && planned.total_cost <= budget {
         Bicriteria::Feasible { schedule, planned }
@@ -76,11 +78,13 @@ pub fn min_budget_for_deadline(
     deadline: f64,
 ) -> Option<(f64, Schedule)> {
     let cfg = SimConfig::planning();
+    #[allow(clippy::expect_used)] // HEFTBUDG emits a complete, validated schedule
     let makespan_at = |b: f64| -> (f64, Schedule) {
         let (s, _) = heft_budg(wf, platform, b);
         let r = simulate(wf, platform, &s, &cfg).expect("valid");
         (r.makespan, s)
     };
+    #[allow(clippy::expect_used)] // min_cost_schedule is valid by construction
     let floor = simulate(wf, platform, &crate::min_cost_schedule(wf, platform), &cfg)
         .expect("valid")
         .total_cost;
@@ -115,6 +119,7 @@ pub fn min_budget_for_deadline(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use wfs_simulator::{simulate, SimConfig};

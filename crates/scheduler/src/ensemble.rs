@@ -74,6 +74,7 @@ pub fn schedule_ensemble(
         .enumerate()
         .map(|(i, m)| {
             assert!(m.priority > 0.0, "priorities must be positive");
+            #[allow(clippy::expect_used)] // min_cost_schedule is valid by construction
             let floor = simulate(
                 &m.workflow,
                 platform,
@@ -104,6 +105,7 @@ pub fn schedule_ensemble(
         }
         let wf = &members[idx].workflow;
         let (schedule, _) = heft_budg(wf, platform, chunk);
+        #[allow(clippy::expect_used)] // HEFTBUDG emits a complete, validated schedule
         let planned = simulate(wf, platform, &schedule, &cfg).expect("HEFTBUDG is valid");
         if planned.total_cost > remaining {
             // Conservative estimate was too low for this one: reject
@@ -132,6 +134,7 @@ pub fn schedule_ensemble(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use wfs_workflow::gen::{cybershake, ligo, montage, GenConfig};

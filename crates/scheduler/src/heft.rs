@@ -66,6 +66,7 @@ fn heft_inner(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use wfs_simulator::{simulate, SimConfig};

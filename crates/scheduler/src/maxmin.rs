@@ -13,7 +13,7 @@ use crate::budget::{divide_budget, Pot};
 use crate::plan::{HostEval, PlanState};
 use wfs_platform::Platform;
 use wfs_simulator::{Schedule, VmId};
-use wfs_workflow::{TaskId, Workflow};
+use wfs_workflow::{OrdF64, TaskId, Workflow};
 
 /// Task-selection rule within the ready set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,13 +93,23 @@ fn run(wf: &Workflow, platform: &Platform, b_ini: Option<f64>, rule: Rule) -> Sc
                 }),
             };
             // Maximize the score; tie-break on smaller EFT, then id.
+            // `total_cmp` keeps the rule total: sufferage scores are
+            // differences of EFTs and the ordering must not fall apart if
+            // one of them degenerates to NaN.
             let better = best.as_ref().is_none_or(|(bi, be, bs)| {
-                score > *bs || (score == *bs && (eval.eft, t.0) < (be.eft, ready[*bi].0))
+                match score.total_cmp(bs) {
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Equal => {
+                        (OrdF64(eval.eft), t.0) < (OrdF64(be.eft), ready[*bi].0)
+                    }
+                    std::cmp::Ordering::Less => false,
+                }
             });
             if better {
                 best = Some((i, eval, score));
             }
         }
+        #[allow(clippy::expect_used)] // loop guard: `ready` is non-empty
         let (idx, eval, _) = best.expect("ready set is non-empty");
         let t = ready.swap_remove(idx);
         last_commit = Some(plan.commit(t, eval.candidate));
@@ -119,6 +129,7 @@ fn run(wf: &Workflow, platform: &Platform, b_ini: Option<f64>, rule: Rule) -> Sc
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use wfs_simulator::{simulate, SimConfig};

@@ -11,7 +11,7 @@ use crate::budget::{divide_budget, Pot};
 use crate::plan::PlanState;
 use wfs_platform::Platform;
 use wfs_simulator::{Schedule, VmId};
-use wfs_workflow::{TaskId, Workflow};
+use wfs_workflow::{OrdF64, TaskId, Workflow};
 
 /// Run MIN-MIN (unbounded budget) — the baseline of §V-B.
 pub fn min_min(wf: &Workflow, platform: &Platform) -> Schedule {
@@ -57,13 +57,15 @@ fn min_min_inner(wf: &Workflow, platform: &Platform, b_ini: Option<f64>, mut pot
                 None => f64::INFINITY,
             };
             let eval = cache.best(&plan, t, limit, last_commit);
-            let better = best
-                .as_ref()
-                .is_none_or(|(bi, b)| (eval.eft, eval.cost, t.0) < (b.eft, b.cost, ready[*bi].0));
+            let better = best.as_ref().is_none_or(|(bi, b)| {
+                (OrdF64(eval.eft), OrdF64(eval.cost), t.0)
+                    < (OrdF64(b.eft), OrdF64(b.cost), ready[*bi].0)
+            });
             if better {
                 best = Some((i, eval));
             }
         }
+        #[allow(clippy::expect_used)] // loop guard: `ready` is non-empty
         let (idx, eval) = best.expect("ready set is non-empty");
         let t = ready.swap_remove(idx);
         last_commit = Some(plan.commit(t, eval.candidate));
@@ -83,6 +85,7 @@ fn min_min_inner(wf: &Workflow, platform: &Platform, b_ini: Option<f64>, mut pot
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use wfs_simulator::{simulate, SimConfig};

@@ -327,6 +327,7 @@ pub fn run_online(
         done[t.index()] = true;
         finish[t.index()] = end;
         completed += 1;
+        #[allow(clippy::expect_used)] // both branches above record the host
         let host = ran_on[t.index()].expect("just set");
         // Conservative uploads of every output (+ external output).
         let mut upload_end = end;
@@ -362,6 +363,7 @@ pub fn run_online(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use wfs_workflow::gen::{cybershake, montage, GenConfig};

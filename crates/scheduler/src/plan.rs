@@ -172,6 +172,7 @@ impl<'a> PlanState<'a> {
         let mut ready: f64 = 0.0;
         for &e in self.wf.in_edges(t) {
             let edge = self.wf.edge(e);
+            #[allow(clippy::expect_used)] // documented precondition (# Panics)
             let pred_vm = self
                 .schedule
                 .assignment(edge.from)
@@ -333,6 +334,7 @@ impl<'a> PlanState<'a> {
         scratch.pred_vms.clear();
         for &e in self.wf.in_edges(t) {
             let edge = self.wf.edge(e);
+            #[allow(clippy::expect_used)] // list schedulers commit predecessors first
             let pred_vm = self
                 .schedule
                 .assignment(edge.from)
@@ -455,6 +457,7 @@ impl<'a> PlanState<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use wfs_platform::{BillingPolicy, Datacenter, VmCategory};

@@ -79,6 +79,7 @@ pub fn refine_schedule(
     for (i, &t) in list.iter().enumerate() {
         pos[t.index()] = i;
     }
+    #[allow(clippy::expect_used)] // HEFTBUDG emits a complete, validated schedule
     let mut best_time = simulate(wf, platform, &sched, &cfg)
         .expect("HEFTBUDG emits a valid schedule")
         .makespan;
@@ -88,6 +89,7 @@ pub fn refine_schedule(
         RefineOrder::Reverse => list.iter().rev().copied().collect(),
     };
     for &t in &tasks {
+        #[allow(clippy::expect_used)] // HEFTBUDG assigns every task
         let cur_vm = sched.assignment(t).expect("complete schedule");
         let mut best_alt: Option<(Schedule, f64)> = None;
         // Every other used VM...
@@ -139,6 +141,7 @@ fn consider(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use wfs_simulator::SimConfig;

@@ -5,6 +5,9 @@
 //! scratch buffers have warmed up, repeated `get_best_host` sweeps perform
 //! zero allocations — the core "allocation-free planner" guarantee.
 
+// Helper fns in integration-test files miss the tests-only exemption.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -12,6 +12,9 @@
 //! 3. regression: a hub-join workflow with very high fan-in (the worst
 //!    case for the per-predecessor aggregate adjustment) stays exact.
 
+// Helper fns in integration-test files miss the tests-only exemption.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use wfs_platform::Platform;
 use wfs_scheduler::{get_best_host, min_cost_schedule, reference, Algorithm, PlanState};
 use wfs_simulator::{simulate, SimConfig};

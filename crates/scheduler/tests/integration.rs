@@ -1,6 +1,9 @@
 //! Scheduler-crate integration tests: cross-algorithm behaviours on the
 //! public API only.
 
+// Helper fns in integration-test files miss the tests-only exemption.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use wfs_platform::{BillingPolicy, Datacenter, Platform, VmCategory};
 use wfs_scheduler::{
     divide_budget, get_best_host, heft_budg, min_cost_schedule, priority_list, Algorithm,

@@ -79,7 +79,9 @@ struct HeapEntry {
 
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        // Delegate to the total order so `==` agrees with `Ord` even for
+        // pathological times (NaN) instead of comparing floats bitwise.
+        self.cmp(other) == std::cmp::Ordering::Equal
     }
 }
 impl Eq for HeapEntry {}
@@ -203,6 +205,7 @@ impl<'a> Engine<'a> {
 
         let mut missing = vec![0usize; n];
         for t in wf.task_ids() {
+            #[allow(clippy::expect_used)] // Engine::new runs after validate()
             let vm = schedule.assignment(t).expect("validated").index();
             for &e in wf.in_edges(t) {
                 missing[t.index()] += 1;
@@ -307,6 +310,7 @@ impl<'a> Engine<'a> {
         }
         // Position of each task in the VM order: prefer inputs of earlier
         // tasks so prefetching never starves the next task to run.
+        #[allow(clippy::expect_used)] // downloads only reference tasks of their VM
         let pos_of = |vm: &VmState, t: TaskId| {
             vm.order.iter().position(|&x| x == t).expect("task is on this VM")
         };
@@ -424,6 +428,7 @@ impl<'a> Engine<'a> {
         if let Some(e) = u.edge {
             self.edge_at_dc[e.index()] = true;
             let consumer = self.wf.edge(e).to;
+            #[allow(clippy::expect_used)] // schedule was validated before simulation
             let cv = self.schedule.assignment(consumer).expect("validated").index();
             // Mark the matching pending download as available.
             for d in &mut self.vms[cv].downloads {

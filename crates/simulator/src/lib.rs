@@ -26,6 +26,7 @@
 
 mod config;
 mod engine;
+pub mod lint;
 pub mod metrics;
 mod report;
 mod schedule;
@@ -34,11 +35,13 @@ mod weights;
 
 pub use config::{DcCapacity, SimConfig};
 pub use engine::{simulate, SimError};
+pub use lint::{plan_lint, PlanViolation};
 pub use report::{SimulationReport, TaskRecord, VmUsage};
 pub use schedule::{Schedule, ScheduleError, VmId};
 pub use weights::{realize_weights, sample_standard_normal, WeightModel};
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod engine_tests {
     use super::*;
     use wfs_platform::{BillingPolicy, CategoryId, Datacenter, Platform, VmCategory};

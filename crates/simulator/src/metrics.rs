@@ -63,6 +63,7 @@ pub fn metrics(report: &SimulationReport) -> ExecutionMetrics {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use crate::schedule::Schedule;

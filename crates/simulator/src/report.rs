@@ -89,8 +89,7 @@ impl SimulationReport {
         use std::fmt::Write;
         let mut s = String::from("task,vm,start,end,realized_weight\n");
         for t in &self.tasks {
-            writeln!(s, "{},{},{:.6},{:.6},{:.3}", t.task.0, t.vm.0, t.start, t.end, t.realized_weight)
-                .unwrap();
+            let _ = writeln!(s, "{},{},{:.6},{:.6},{:.3}", t.task.0, t.vm.0, t.start, t.end, t.realized_weight);
         }
         s
     }
@@ -107,8 +106,7 @@ impl SimulationReport {
         let mut s = String::new();
         let span = self.makespan.max(1e-9);
         for vm in &self.vms {
-            write!(s, "{:>5} [{:>7}] |", vm.vm.to_string(), format!("cat{}", vm.category.0))
-                .unwrap();
+            let _ = write!(s, "{:>5} [{:>7}] |", vm.vm.to_string(), format!("cat{}", vm.category.0));
             let mut row = vec![' '; width];
             for t in &self.tasks {
                 if t.vm == vm.vm {
@@ -122,13 +120,13 @@ impl SimulationReport {
             s.extend(row);
             s.push_str("|\n");
         }
-        writeln!(s, "makespan {:.1}s  cost ${:.4}  VMs {}", self.makespan, self.total_cost, self.vms_used)
-            .unwrap();
+        let _ = writeln!(s, "makespan {:.1}s  cost ${:.4}  VMs {}", self.makespan, self.total_cost, self.vms_used);
         s
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
 

@@ -108,9 +108,13 @@ impl Schedule {
 
     /// Re-sort every VM's execution order by a task key (typically the HEFT
     /// priority rank), keeping schedules executable after reassignments.
-    pub fn sort_orders_by<K: PartialOrd>(&mut self, key: impl Fn(TaskId) -> K) {
+    ///
+    /// The key must be totally ordered (`Ord`); float keys should be wrapped
+    /// in a total-order adapter such as `wfs_workflow::OrdF64` so a NaN rank
+    /// cannot make the sort non-deterministic.
+    pub fn sort_orders_by<K: Ord>(&mut self, key: impl Fn(TaskId) -> K) {
         for ord in &mut self.order {
-            ord.sort_by(|&a, &b| key(a).partial_cmp(&key(b)).expect("keys are comparable"));
+            ord.sort_by_key(|&t| key(t));
         }
     }
 
@@ -131,7 +135,9 @@ impl Schedule {
         }
         for a in &mut self.assignment {
             if let Some(vm) = a {
-                *a = Some(remap[vm.index()].expect("assigned VM cannot be empty"));
+                #[allow(clippy::expect_used)] // this VM holds `a`, so it was kept
+                let new_id = remap[vm.index()].expect("assigned VM cannot be empty");
+                *a = Some(new_id);
             }
         }
         self.vms = new_vms;
@@ -257,6 +263,7 @@ impl Schedule {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use wfs_workflow::gen::{chain, fork_join};

@@ -42,48 +42,44 @@ pub fn to_svg(report: &SimulationReport, opts: SvgOptions) -> String {
     let height = lanes * opts.lane_height + 30;
 
     let mut s = String::with_capacity(4096);
-    write!(
+    let _ = write!(
         s,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{height}" font-family="monospace" font-size="11">"#,
         w = opts.width
-    )
-    .unwrap();
-    writeln!(s, "\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>").unwrap();
+    );
+    let _ = writeln!(s, "\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>");
 
     for (lane, vm) in report.vms.iter().enumerate() {
         let y = lane as u32 * opts.lane_height + 4;
         let h = opts.lane_height - 6;
         // Lane label.
-        writeln!(
+        let _ = writeln!(
             s,
             r#"<text x="4" y="{ty}">{vm_id} c{cat}</text>"#,
             ty = y + h / 2 + 4,
             vm_id = vm.vm,
             cat = vm.category.0
-        )
-        .unwrap();
+        );
         // Rental window (light) and boot segment (hatched grey).
-        writeln!(
+        let _ = writeln!(
             s,
             r##"<rect x="{rx:.1}" y="{y}" width="{rw:.1}" height="{h}" fill="#eee"/>"##,
             rx = x(vm.booked_at),
             rw = (x(vm.released_at) - x(vm.booked_at)).max(1.0),
-        )
-        .unwrap();
-        writeln!(
+        );
+        let _ = writeln!(
             s,
             r##"<rect x="{bx:.1}" y="{y}" width="{bw:.1}" height="{h}" fill="#ccc"/>"##,
             bx = x(vm.booked_at),
             bw = (x(vm.ready_at) - x(vm.booked_at)).max(0.5),
-        )
-        .unwrap();
+        );
     }
     // Task bars with tooltips.
     for t in &report.tasks {
         let Some(lane) = report.vms.iter().position(|v| v.vm == t.vm) else { continue };
         let y = lane as u32 * opts.lane_height + 4;
         let h = opts.lane_height - 6;
-        writeln!(
+        let _ = writeln!(
             s,
             r#"<rect x="{tx:.1}" y="{y}" width="{tw:.1}" height="{h}" fill="{fill}"><title>{title}</title></rect>"#,
             tx = x(t.start),
@@ -93,11 +89,10 @@ pub fn to_svg(report: &SimulationReport, opts: SvgOptions) -> String {
                 "{} on {} [{:.1}s – {:.1}s], {:.0} Gflop",
                 t.task, t.vm, t.start, t.end, t.realized_weight
             ),
-        )
-        .unwrap();
+        );
     }
     // Footer.
-    writeln!(
+    let _ = writeln!(
         s,
         r#"<text x="{lx}" y="{fy}">makespan {mk:.1}s   cost ${c:.4}   VMs {v}</text>"#,
         lx = opts.label_width,
@@ -105,13 +100,13 @@ pub fn to_svg(report: &SimulationReport, opts: SvgOptions) -> String {
         mk = report.makespan,
         c = report.total_cost,
         v = report.vms_used,
-    )
-    .unwrap();
+    );
     s.push_str("</svg>\n");
     s
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use crate::schedule::Schedule;

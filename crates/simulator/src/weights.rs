@@ -83,6 +83,7 @@ pub fn sample_standard_normal(rng: &mut StdRng) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use wfs_workflow::gen::bag_of_tasks;

@@ -1,6 +1,9 @@
 //! Simulator-crate integration tests through the public API only:
 //! billing policies, weight models, finite capacity, metrics and exports.
 
+// Helper fns in integration-test files miss the tests-only exemption.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+
 use wfs_platform::{BillingPolicy, CategoryId, Datacenter, Platform, VmCategory};
 use wfs_simulator::{
     metrics::metrics, realize_weights, simulate, svg, Schedule, SimConfig, WeightModel,

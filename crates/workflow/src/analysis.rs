@@ -82,12 +82,10 @@ pub fn bottom_levels(wf: &Workflow, mode: WeightMode, speed: f64, bw: f64) -> Ve
 pub fn heft_order(wf: &Workflow, mode: WeightMode, speed: f64, bw: f64) -> Vec<TaskId> {
     let rank = bottom_levels(wf, mode, speed, bw);
     let mut ids: Vec<TaskId> = wf.task_ids().collect();
-    ids.sort_by(|a, b| {
-        rank[b.index()]
-            .partial_cmp(&rank[a.index()])
-            .expect("ranks are finite")
-            .then(a.0.cmp(&b.0))
-    });
+    // `total_cmp`, not `partial_cmp(..).unwrap()`: a degenerate workflow
+    // (e.g. zero total weight feeding a 0/0 in a budget share) can make
+    // ranks NaN, and the order must stay total and deterministic.
+    ids.sort_by(|a, b| rank[b.index()].total_cmp(&rank[a.index()]).then(a.0.cmp(&b.0)));
     ids
 }
 
@@ -97,10 +95,15 @@ pub fn critical_path(wf: &Workflow, mode: WeightMode, speed: f64, bw: f64) -> (V
     let rank = bottom_levels(wf, mode, speed, bw);
     // Start from the entry task with the largest rank, then repeatedly follow
     // the successor that realizes the max in the rank recurrence.
-    let start = wf
+    // NaN-safe selection: `total_cmp` keeps the max well-defined even when
+    // ranks contain NaN (empty workflows cannot be built, so an entry task
+    // always exists — but avoid a panic site anyway).
+    let Some(start) = wf
         .entry_tasks()
-        .max_by(|a, b| rank[a.index()].partial_cmp(&rank[b.index()]).unwrap())
-        .expect("workflow is non-empty");
+        .max_by(|a, b| rank[a.index()].total_cmp(&rank[b.index()]))
+    else {
+        return (Vec::new(), 0.0);
+    };
     let mut path = vec![start];
     let mut cur = start;
     loop {
@@ -165,6 +168,7 @@ pub fn stats(wf: &Workflow) -> WorkflowStats {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use crate::graph::WorkflowBuilder;
@@ -271,6 +275,38 @@ mod tests {
         assert_eq!(s.exits, 1);
         assert!((s.total_work - 15.0).abs() < 1e-9);
         assert!((s.total_data - 40.0).abs() < 1e-9);
+    }
+
+    /// Regression: a zero-weight workflow used to panic in `heft_order` /
+    /// `critical_path` once a NaN rank appeared. The NaN arises exactly as
+    /// in the paper's budget split (Eq. 5–6): a per-task share `w_i / W`
+    /// with total work `W = 0` is `0.0 / 0.0`. The analyses must stay
+    /// panic-free and deterministic.
+    #[test]
+    fn nan_ranks_from_zero_weight_workflow_do_not_panic() {
+        let total_work: f64 = 0.0; // zero-weight workflow
+        let share = 0.0 / total_work; // Eq. 5 share: 0/0 = NaN
+        assert!(share.is_nan());
+        // Bypass the constructor assert the way a buggy caller would: the
+        // fields are public, and upstream arithmetic can hand over a NaN.
+        let w = StochasticWeight { mean: share, std_dev: 0.0 };
+        let mut b = WorkflowBuilder::new("zero");
+        let a = b.add_task("a", w);
+        let c = b.add_task("c", w);
+        let d = b.add_task("d", w);
+        b.add_edge(a, c, 0.0).unwrap();
+        b.add_edge(a, d, 0.0).unwrap();
+        let wf = b.build().unwrap();
+        let ranks = bottom_levels(&wf, WeightMode::Mean, 1.0, 1.0);
+        assert!(ranks.iter().all(|r| r.is_nan()), "0/0 weights make every rank NaN");
+        // Before the total_cmp migration both of these panicked.
+        let o1 = heft_order(&wf, WeightMode::Mean, 1.0, 1.0);
+        let o2 = heft_order(&wf, WeightMode::Mean, 1.0, 1.0);
+        assert_eq!(o1, o2, "NaN ranks still give a deterministic order");
+        assert_eq!(o1.len(), 3);
+        let (path, len) = critical_path(&wf, WeightMode::Mean, 1.0, 1.0);
+        assert!(!path.is_empty());
+        assert!(len.is_nan());
     }
 
     #[test]

@@ -64,70 +64,64 @@ pub fn to_dax(wf: &Workflow, reference_speed: f64) -> String {
     assert!(reference_speed > 0.0, "reference speed must be positive");
     use std::fmt::Write;
     let mut s = String::with_capacity(256 * wf.task_count());
-    writeln!(s, r#"<?xml version="1.0" encoding="UTF-8"?>"#).unwrap();
-    writeln!(
+    let _ = writeln!(s, r#"<?xml version="1.0" encoding="UTF-8"?>"#);
+    let _ = writeln!(
         s,
         r#"<adag xmlns="http://pegasus.isi.edu/schema/DAX" version="2.1" name="{}" jobCount="{}">"#,
         xml_escape(&wf.name),
         wf.task_count()
-    )
-    .unwrap();
+    );
     for t in wf.tasks() {
         let runtime = t.weight.mean / reference_speed;
         let sigma = t.weight.std_dev / reference_speed;
-        writeln!(
+        let _ = writeln!(
             s,
             r#"  <job id="ID{:05}" name="{}" runtime="{runtime:.6}" sigma="{sigma:.6}">"#,
             t.id.0,
             xml_escape(&t.name)
-        )
-        .unwrap();
+        );
         if t.external_input > 0.0 {
-            writeln!(
+            let _ = writeln!(
                 s,
                 r#"    <uses file="ext_in_{}" link="input" size="{:.0}"/>"#,
                 t.id.0, t.external_input
-            )
-            .unwrap();
+            );
         }
         for &e in wf.in_edges(t.id) {
             let edge = wf.edge(e);
-            writeln!(
+            let _ = writeln!(
                 s,
                 r#"    <uses file="d_{}_{}" link="input" size="{:.0}"/>"#,
                 edge.from.0, edge.to.0, edge.size
-            )
-            .unwrap();
+            );
         }
         for &e in wf.out_edges(t.id) {
             let edge = wf.edge(e);
-            writeln!(
+            let _ = writeln!(
                 s,
                 r#"    <uses file="d_{}_{}" link="output" size="{:.0}"/>"#,
                 edge.from.0, edge.to.0, edge.size
-            )
-            .unwrap();
+            );
         }
         if t.external_output > 0.0 {
-            writeln!(
+            let _ = writeln!(
                 s,
                 r#"    <uses file="ext_out_{}" link="output" size="{:.0}"/>"#,
                 t.id.0, t.external_output
-            )
-            .unwrap();
+            );
         }
-        writeln!(s, "  </job>").unwrap();
+        let _ = writeln!(s, "  </job>");
     }
     for t in wf.task_ids() {
         let preds: Vec<_> = wf.predecessors(t).collect();
         if preds.is_empty() {
             continue;
         }
-        writeln!(s, r#"  <child ref="ID{:05}">"#, t.0).unwrap();
+        let _ = writeln!(s, r#"  <child ref="ID{:05}">"#, t.0);
         for p in preds {
-            writeln!(s, r#"    <parent ref="ID{:05}"/>"#, p.0).unwrap();
+            let _ = writeln!(s, r#"    <parent ref="ID{:05}"/>"#, p.0);
         }
-        writeln!(s, "  </child>").unwrap();
+        let _ = writeln!(s, "  </child>");
     }
     s.push_str("</adag>\n");
     s
@@ -317,7 +311,10 @@ pub fn from_dax(doc: &str, reference_speed: f64) -> Result<Workflow, DaxError> {
         let &ct = id_of
             .get(child.as_str())
             .ok_or_else(|| DaxError::UnknownJob(child.clone()))?;
+        // `id_of` was built from `jobs`, so both lookups must succeed.
+        #[allow(clippy::expect_used)] // invariant: id_of keys ⊆ jobs
         let pj = &jobs.iter().find(|(i, _)| i == parent).expect("just resolved").1;
+        #[allow(clippy::expect_used)] // invariant: id_of keys ⊆ jobs
         let cj = &jobs.iter().find(|(i, _)| i == child).expect("just resolved").1;
         let size: f64 = pj
             .outputs
@@ -359,6 +356,7 @@ pub fn from_dax(doc: &str, reference_speed: f64) -> Result<Workflow, DaxError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use crate::gen::{cybershake, montage, GenConfig};

@@ -7,24 +7,24 @@ use crate::graph::Workflow;
 pub fn to_dot(wf: &Workflow) -> String {
     use std::fmt::Write;
     let mut s = String::with_capacity(64 * wf.task_count());
-    writeln!(s, "digraph \"{}\" {{", wf.name).unwrap();
-    writeln!(s, "  rankdir=TB;").unwrap();
+    let _ = writeln!(s, "digraph \"{}\" {{", wf.name);
+    let _ = writeln!(s, "  rankdir=TB;");
     for t in wf.tasks() {
-        writeln!(
+        let _ = writeln!(
             s,
             "  {} [label=\"{}\\n{:.1} Gflop\"];",
             t.id.0, t.name, t.weight.mean
-        )
-        .unwrap();
+        );
     }
     for e in wf.edges() {
-        writeln!(s, "  {} -> {} [label=\"{:.1} MB\"];", e.from.0, e.to.0, e.size / 1e6).unwrap();
+        let _ = writeln!(s, "  {} -> {} [label=\"{:.1} MB\"];", e.from.0, e.to.0, e.size / 1e6);
     }
     s.push_str("}\n");
     s
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use crate::graph::WorkflowBuilder;

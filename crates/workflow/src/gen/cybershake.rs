@@ -59,7 +59,7 @@ pub fn cybershake(cfg: GenConfig) -> Workflow {
     for (i, &extractor) in extractors.iter().take(pairs).enumerate() {
         let s = b.add_task(format!("SeismogramSynthesis_{i}"), wgt(&mut rng, 800.0));
         syntheses.push(s);
-        b.add_edge(extractor, s, sgt(&mut rng)).unwrap();
+        b.connect(extractor, s, sgt(&mut rng));
     }
     let zip_seis = b.add_task("ZipSeis", wgt(&mut rng, 100.0));
     let zip_psa = b.add_task("ZipPSA", wgt(&mut rng, 100.0));
@@ -67,22 +67,23 @@ pub fn cybershake(cfg: GenConfig) -> Workflow {
     b.set_external_output(zip_psa, jitter(&mut rng, 20.0 * MB, 0.2));
 
     for &s in &syntheses {
-        b.add_edge(s, zip_seis, jitter(&mut rng, 10.0 * MB, 0.3)).unwrap();
-        b.add_edge(s, zip_psa, small(&mut rng)).unwrap();
+        b.connect(s, zip_seis, jitter(&mut rng, 10.0 * MB, 0.3));
+        b.connect(s, zip_psa, small(&mut rng));
     }
     // A straggler extractor (odd task count) feeds the agglomerators
     // directly so it still participates in the DAG.
     for &e in &extractors[pairs..] {
-        b.add_edge(e, zip_seis, small(&mut rng)).unwrap();
-        b.add_edge(e, zip_psa, small(&mut rng)).unwrap();
+        b.connect(e, zip_seis, small(&mut rng));
+        b.connect(e, zip_psa, small(&mut rng));
     }
 
-    let wf = b.build().expect("cybershake generator emits a valid DAG");
+    let wf = b.build_valid();
     debug_assert_eq!(wf.task_count(), cfg.tasks);
     wf
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use crate::analysis::levels;

@@ -41,7 +41,7 @@ pub fn epigenomics(cfg: GenConfig) -> Workflow {
 
     let maq_index = b.add_task("maqIndex", wgt(&mut rng, 400.0));
     let pileup = b.add_task("pileup", wgt(&mut rng, 300.0));
-    b.add_edge(maq_index, pileup, data(&mut rng, 30.0 * MB)).unwrap();
+    b.connect(maq_index, pileup, data(&mut rng, 30.0 * MB));
     b.set_external_output(pileup, data(&mut rng, 20.0 * MB));
 
     for lane in 0..lanes {
@@ -62,28 +62,29 @@ pub fn epigenomics(cfg: GenConfig) -> Workflow {
             let sol = b.add_task(format!("sol2sanger_{lane}_{c}"), wgt(&mut rng, 60.0));
             let bfq = b.add_task(format!("fast2bfq_{lane}_{c}"), wgt(&mut rng, 60.0));
             let map = b.add_task(format!("map_{lane}_{c}"), wgt(&mut rng, 900.0));
-            b.add_edge(split, filter, data(&mut rng, 25.0 * MB)).unwrap();
-            b.add_edge(filter, sol, data(&mut rng, 25.0 * MB)).unwrap();
-            b.add_edge(sol, bfq, data(&mut rng, 20.0 * MB)).unwrap();
-            b.add_edge(bfq, map, data(&mut rng, 15.0 * MB)).unwrap();
-            b.add_edge(map, merge, data(&mut rng, 10.0 * MB)).unwrap();
+            b.connect(split, filter, data(&mut rng, 25.0 * MB));
+            b.connect(filter, sol, data(&mut rng, 25.0 * MB));
+            b.connect(sol, bfq, data(&mut rng, 20.0 * MB));
+            b.connect(bfq, map, data(&mut rng, 15.0 * MB));
+            b.connect(map, merge, data(&mut rng, 10.0 * MB));
         }
         // Spare tasks become extra map chunks hanging off the split directly.
         for x in 0..extra {
             let map = b.add_task(format!("map_{lane}_x{x}"), wgt(&mut rng, 900.0));
-            b.add_edge(split, map, data(&mut rng, 25.0 * MB)).unwrap();
-            b.add_edge(map, merge, data(&mut rng, 10.0 * MB)).unwrap();
+            b.connect(split, map, data(&mut rng, 25.0 * MB));
+            b.connect(map, merge, data(&mut rng, 10.0 * MB));
         }
-        b.add_edge(merge, maq_index, data(&mut rng, 30.0 * MB)).unwrap();
+        b.connect(merge, maq_index, data(&mut rng, 30.0 * MB));
     }
     debug_assert_eq!(remaining, 0);
 
-    let wf = b.build().expect("epigenomics generator emits a valid DAG");
+    let wf = b.build_valid();
     debug_assert_eq!(wf.task_count(), cfg.tasks);
     wf
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use crate::analysis::{levels, stats};

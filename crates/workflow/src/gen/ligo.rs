@@ -80,7 +80,7 @@ pub fn ligo(cfg: GenConfig) -> Workflow {
             .collect();
         let agg1 = b.add_task(format!("Thinca1_{blk}"), wgt(&mut rng, 60.0));
         for &t in &templates {
-            b.add_edge(t, agg1, jitter(&mut rng, base_input, 0.05)).unwrap();
+            b.connect(t, agg1, jitter(&mut rng, base_input, 0.05));
         }
         let trigbanks: Vec<_> = (0..g2)
             .map(|i| b.add_task(format!("TrigBank_{blk}_{i}"), wgt(&mut rng, 180.0)))
@@ -88,8 +88,8 @@ pub fn ligo(cfg: GenConfig) -> Workflow {
         let last = if g2 > 0 {
             let agg2 = b.add_task(format!("Thinca2_{blk}"), wgt(&mut rng, 60.0));
             for &t in &trigbanks {
-                b.add_edge(agg1, t, jitter(&mut rng, base_input, 0.05)).unwrap();
-                b.add_edge(t, agg2, jitter(&mut rng, base_input, 0.05)).unwrap();
+                b.connect(agg1, t, jitter(&mut rng, base_input, 0.05));
+                b.connect(t, agg2, jitter(&mut rng, base_input, 0.05));
             }
             agg2
         } else {
@@ -97,7 +97,7 @@ pub fn ligo(cfg: GenConfig) -> Workflow {
             // task becomes one more template.
             let t = b.add_task(format!("TmpltBank_{blk}_x"), wgt(&mut rng, 180.0));
             entry_tasks.push(t);
-            b.add_edge(t, agg1, jitter(&mut rng, base_input, 0.05)).unwrap();
+            b.connect(t, agg1, jitter(&mut rng, base_input, 0.05));
             agg1
         };
         b.set_external_output(last, jitter(&mut rng, 5.0 * MB, 0.2));
@@ -113,12 +113,13 @@ pub fn ligo(cfg: GenConfig) -> Workflow {
         b.set_external_input(t, size);
     }
 
-    let wf = b.build().expect("ligo generator emits a valid DAG");
+    let wf = b.build_valid();
     debug_assert_eq!(wf.task_count(), cfg.tasks);
     wf
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use crate::analysis::{levels, stats};

@@ -120,6 +120,7 @@ pub(crate) fn jitter(rng: &mut StdRng, base: f64, rel: f64) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use crate::analysis::stats;

@@ -85,28 +85,29 @@ pub fn montage(cfg: GenConfig) -> Workflow {
     for (i, &diff) in diffs.iter().enumerate() {
         let a = projections[i % p];
         let c = projections[(i + 1) % p];
-        b.add_edge(a, diff, fits(&mut rng)).unwrap();
+        b.connect(a, diff, fits(&mut rng));
         if c != a {
-            b.add_edge(c, diff, fits(&mut rng)).unwrap();
+            b.connect(c, diff, fits(&mut rng));
         }
-        b.add_edge(diff, concat, fits(&mut rng) * 0.25).unwrap();
+        b.connect(diff, concat, fits(&mut rng) * 0.25);
     }
-    b.add_edge(concat, bgmodel, fits(&mut rng) * 0.25).unwrap();
+    b.connect(concat, bgmodel, fits(&mut rng) * 0.25);
     for (i, &bg) in backgrounds.iter().enumerate() {
-        b.add_edge(bgmodel, bg, fits(&mut rng) * 0.1).unwrap();
-        b.add_edge(projections[i], bg, fits(&mut rng)).unwrap();
-        b.add_edge(bg, imgtbl, fits(&mut rng)).unwrap();
+        b.connect(bgmodel, bg, fits(&mut rng) * 0.1);
+        b.connect(projections[i], bg, fits(&mut rng));
+        b.connect(bg, imgtbl, fits(&mut rng));
     }
-    b.add_edge(imgtbl, add, fits(&mut rng)).unwrap();
-    b.add_edge(add, shrink, fits(&mut rng) * 2.0).unwrap();
-    b.add_edge(shrink, jpeg, fits(&mut rng)).unwrap();
+    b.connect(imgtbl, add, fits(&mut rng));
+    b.connect(add, shrink, fits(&mut rng) * 2.0);
+    b.connect(shrink, jpeg, fits(&mut rng));
 
-    let wf = b.build().expect("montage generator emits a valid DAG");
+    let wf = b.build_valid();
     debug_assert_eq!(wf.task_count(), cfg.tasks);
     wf
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use crate::analysis::{levels, stats};

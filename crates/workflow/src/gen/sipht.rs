@@ -49,27 +49,28 @@ pub fn sipht(cfg: GenConfig) -> Workflow {
     for i in 0..patsers_n {
         let t = b.add_task(format!("Patser_{i}"), wgt(&mut rng, 50.0));
         b.set_external_input(t, data(&mut rng, 2.0 * MB));
-        b.add_edge(t, concate, data(&mut rng, 0.5 * MB)).unwrap();
+        b.connect(t, concate, data(&mut rng, 0.5 * MB));
     }
-    b.add_edge(concate, find, data(&mut rng, 1.0 * MB)).unwrap();
+    b.connect(concate, find, data(&mut rng, 1.0 * MB));
 
     for i in 0..pre_n {
         let t = b.add_task(format!("Blast_pre_{i}"), wgt(&mut rng, 900.0));
         b.set_external_input(t, data(&mut rng, 10.0 * MB));
-        b.add_edge(t, srna, data(&mut rng, 3.0 * MB)).unwrap();
+        b.connect(t, srna, data(&mut rng, 3.0 * MB));
     }
     for i in 0..post_n {
         let t = b.add_task(format!("Blast_post_{i}"), wgt(&mut rng, 700.0));
-        b.add_edge(srna, t, data(&mut rng, 3.0 * MB)).unwrap();
-        b.add_edge(t, find, data(&mut rng, 1.0 * MB)).unwrap();
+        b.connect(srna, t, data(&mut rng, 3.0 * MB));
+        b.connect(t, find, data(&mut rng, 1.0 * MB));
     }
 
-    let wf = b.build().expect("sipht generator emits a valid DAG");
+    let wf = b.build_valid();
     debug_assert_eq!(wf.task_count(), cfg.tasks);
     wf
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
     use crate::analysis::stats;

@@ -199,6 +199,7 @@ impl Workflow {
     }
 
     /// Serialize to pretty JSON.
+    #[allow(clippy::expect_used)] // plain-old-data type: serialization is infallible
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("workflow serialization cannot fail")
     }
@@ -287,9 +288,35 @@ impl WorkflowBuilder {
         Ok(id)
     }
 
+    /// [`WorkflowBuilder::add_edge`] for callers that construct graphs from
+    /// ids they just created (generators): structurally, such an edge cannot
+    /// be rejected, so the `Result` is collapsed here — one audited panic
+    /// site instead of one `unwrap()` per generator edge.
+    ///
+    /// # Panics
+    /// If the edge is invalid after all (unknown endpoint, self-loop or
+    /// duplicate) — a bug in the calling generator.
+    #[allow(clippy::expect_used)] // single audited funnel for generator edges
+    pub fn connect(&mut self, from: TaskId, to: TaskId, size: f64) -> EdgeId {
+        self.add_edge(from, to, size)
+            .expect("generator-constructed edges are structurally valid")
+    }
+
     /// Number of tasks added so far.
     pub fn task_count(&self) -> usize {
         self.tasks.len()
+    }
+
+    /// [`WorkflowBuilder::build`] for generators whose construction is
+    /// correct by design (tasks added before edges, edges follow the shape's
+    /// layering, at least one task): collapses the `Result` in one audited
+    /// place instead of a per-generator `expect()`.
+    ///
+    /// # Panics
+    /// If the graph is empty or cyclic — a bug in the calling generator.
+    #[allow(clippy::expect_used)] // single audited funnel for generator builds
+    pub fn build_valid(self) -> Workflow {
+        self.build().expect("generator-constructed workflows form a non-empty DAG")
     }
 
     /// Finish: verifies the graph is a non-empty DAG and computes the
@@ -331,6 +358,7 @@ impl WorkflowBuilder {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
 mod tests {
     use super::*;
 

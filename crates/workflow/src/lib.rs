@@ -32,7 +32,9 @@ pub mod dax;
 pub mod dot;
 pub mod gen;
 mod graph;
+mod ord;
 mod task;
 
 pub use graph::{Edge, EdgeId, Workflow, WorkflowBuilder, WorkflowError};
+pub use ord::OrdF64;
 pub use task::{StochasticWeight, Task, TaskId};

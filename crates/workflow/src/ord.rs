@@ -1,0 +1,101 @@
+//! Total-order wrapper for `f64` keys.
+//!
+//! Scheduling is full of lexicographic comparison keys that mix floats with
+//! integers (EFT, cost, VM id, ...). Comparing those tuples through
+//! `PartialOrd` silently mis-orders — or, via `partial_cmp(..).unwrap()`,
+//! panics — as soon as a NaN slips in (e.g. from the budget split of paper
+//! Eq. 5–6 dividing by a zero total duration). [`OrdF64`] gives such keys a
+//! real `Ord` based on [`f64::total_cmp`], so tuple comparisons are total
+//! and NaN-safe by construction.
+
+use std::cmp::Ordering;
+
+/// An `f64` ordered by [`f64::total_cmp`] (IEEE 754 totalOrder).
+///
+/// For the finite, non-NaN, non-negative values scheduling keys are made of,
+/// the order agrees exactly with the usual `<` on `f64`; in addition NaNs
+/// sort above `+∞` (and `-0.0` below `+0.0`) instead of poisoning the
+/// comparison. Wrap each float component of a comparison key:
+///
+/// ```
+/// use wfs_workflow::OrdF64;
+/// let a = (OrdF64(1.0), 3u32);
+/// let b = (OrdF64(1.0), 7u32);
+/// assert!(a < b); // float ties fall through to the integer tie-breaker
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OrdF64(pub f64);
+
+impl PartialEq for OrdF64 {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for OrdF64 {
+    #[inline]
+    fn from(v: f64) -> Self {
+        Self(v)
+    }
+}
+
+impl From<OrdF64> for f64 {
+    #[inline]
+    fn from(v: OrdF64) -> f64 {
+        v.0
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-constant assertions are intentional in tests
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agrees_with_partial_ord_on_normal_values() {
+        let vals = [0.0, 1.0, 1.5, 1e300, f64::INFINITY];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(OrdF64(a) < OrdF64(b), a < b);
+                assert_eq!(OrdF64(a) == OrdF64(b), a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn nan_is_ordered_not_poisonous() {
+        let nan = OrdF64(f64::NAN);
+        assert!(OrdF64(f64::INFINITY) < nan);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        let mut v = [nan, OrdF64(1.0), OrdF64(-1.0)];
+        v.sort(); // does not panic, total order
+        assert_eq!(v[0].0, -1.0);
+        assert_eq!(v[1].0, 1.0);
+        assert!(v[2].0.is_nan());
+    }
+
+    #[test]
+    fn tuple_keys_tie_break() {
+        let a = (OrdF64(2.0), OrdF64(1.0), 0u8, 5u32);
+        let b = (OrdF64(2.0), OrdF64(1.0), 0u8, 9u32);
+        assert!(a < b);
+        assert!((OrdF64(1.0), 9u32) < (OrdF64(2.0), 0u32));
+    }
+}

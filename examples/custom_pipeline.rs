@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --release --example custom_pipeline`
 
+// Examples are demo code: panicking on a broken fixture is the right UX.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use budget_sched::prelude::*;
 
 /// decode -> {detect_1..k} -> track -> {annotate, index} -> publish

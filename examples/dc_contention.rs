@@ -6,6 +6,9 @@
 //!
 //! Run with: `cargo run --release --example dc_contention`
 
+// Examples are demo code: panicking on a broken fixture is the right UX.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use budget_sched::prelude::*;
 
 const REPS: u64 = 15;

@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --release --example ensemble`
 
+// Examples are demo code: panicking on a broken fixture is the right UX.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use budget_sched::prelude::*;
 use budget_sched::scheduler::{schedule_ensemble, EnsembleMember};
 

@@ -11,6 +11,9 @@
 //!
 //! Run with: `cargo run --release --example online_rescheduling`
 
+// Examples are demo code: panicking on a broken fixture is the right UX.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use budget_sched::prelude::*;
 use budget_sched::scheduler::{run_online, OnlineConfig};
 

@@ -3,6 +3,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+// Examples are demo code: panicking on a broken fixture is the right UX.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use budget_sched::prelude::*;
 
 fn main() {

@@ -5,6 +5,9 @@
 //!
 //! Run with: `cargo run --release --example uncertainty`
 
+// Examples are demo code: panicking on a broken fixture is the right UX.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use budget_sched::prelude::*;
 
 const REPS: u64 = 25;

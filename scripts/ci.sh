@@ -13,6 +13,9 @@ cargo test -q --release --workspace
 echo "== cargo clippy -- -D warnings (workspace, all targets)"
 cargo clippy --release --workspace --all-targets -- -D warnings
 
+echo "== wfs-analyze (banned-pattern scan vs analyze-allow.txt)"
+cargo run --release -p wfs-analyze -- --workspace
+
 echo "== quickbench smoke (1 iteration)"
 cargo run --release -p wfs-bench --bin quickbench -- 1 >/dev/null
 test -s BENCH_sched_time.json

@@ -1,6 +1,10 @@
 //! End-to-end tests of the `wfs` CLI binary: gen → stats/dot → schedule →
 //! simulate → sweep, through real files and process invocations.
 
+// Test code may panic freely; the tests-only clippy exemption does not reach
+// helper fns in integration-test files, so allow at file level.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::path::PathBuf;
 use std::process::{Command, Output};
 

@@ -1,6 +1,9 @@
 //! Cross-crate integration tests: every algorithm against every benchmark
 //! type, end to end (generate → schedule → simulate → check invariants).
 
+// Helper fns in integration-test files miss the tests-only exemption.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use budget_sched::prelude::*;
 
 fn planning(wf: &Workflow, p: &Platform, s: &Schedule) -> SimulationReport {

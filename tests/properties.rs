@@ -5,6 +5,9 @@
 //! offline. Each test draws its cases from a fixed-seed `StdRng`, so
 //! failures are reproducible by case index.
 
+// Helper fns in integration-test files miss the tests-only exemption.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use budget_sched::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
