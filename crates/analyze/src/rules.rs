@@ -22,7 +22,8 @@ pub const RULE_FLOAT_EQ: RuleId = "float-eq";
 /// Narrowing `as` casts between numeric types.
 pub const RULE_NUMERIC_CAST: RuleId = "numeric-cast";
 /// Allocation-prone constructs in the scheduler hot path
-/// (`plan.rs` / `best_host.rs`).
+/// (`plan.rs` / `best_host.rs`) and the per-event fault machinery
+/// (`faults.rs` / `recovery.rs`).
 pub const RULE_HOT_PATH_ALLOC: RuleId = "hot-path-alloc";
 
 /// All rules, in reporting order.
@@ -71,10 +72,16 @@ const ALLOC_CTORS: &[&str] = &["Vec", "String", "Box"];
 /// … and allocating macros.
 const ALLOC_MACROS: &[&str] = &["vec", "format"];
 
-/// True if `file` is one of the allocation-free hot-path files
-/// (see `crates/scheduler/tests/alloc_free.rs`).
+/// True if `file` is one of the allocation-audited hot-path files: the
+/// planner sweep (`plan.rs` / `best_host.rs`, allocation-free — see
+/// `crates/scheduler/tests/alloc_free.rs`) and the fault layer
+/// (`faults.rs` runs per simulator event; `recovery.rs` re-plans per
+/// epoch — their allocations are pinned, not banned).
 pub fn is_hot_path_file(file: &str) -> bool {
-    file.ends_with("plan.rs") || file.ends_with("best_host.rs")
+    file.ends_with("plan.rs")
+        || file.ends_with("best_host.rs")
+        || file.ends_with("faults.rs")
+        || file.ends_with("recovery.rs")
 }
 
 /// Scan one file's source text; `file` is used verbatim in findings.
@@ -321,6 +328,10 @@ mod tests {
         assert!(rules_of("other.rs", src).is_empty());
         let rules = rules_of("crates/scheduler/src/plan.rs", src);
         assert_eq!(rules, vec![RULE_HOT_PATH_ALLOC; 3]);
+        // The fault layer is audited too.
+        for hot in ["crates/simulator/src/faults.rs", "crates/scheduler/src/recovery.rs"] {
+            assert_eq!(rules_of(hot, src), vec![RULE_HOT_PATH_ALLOC; 3], "{hot}");
+        }
     }
 
     #[test]

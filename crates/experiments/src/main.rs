@@ -16,6 +16,7 @@
 //!   extras    extended: MAX-MIN(BUDG) / SUFFERAGE(BUDG) sweep
 //!   deadline  extended: budget needed per deadline (Eq. 3)
 //!   robustness extended: Gaussian-planned schedules under heavy-tailed reality
+//!   faults    extended: fault injection + budget-aware recovery grid
 //!   platform  Table II — print the platform instantiation
 //!   all       everything above
 //!
@@ -51,6 +52,7 @@ fn main() {
         "extras" => extended::extras_sweep(scale),
         "deadline" => extended::deadline_map(),
         "robustness" => extended::robustness(scale.instances, scale.reps),
+        "faults" => extended::fault_study(scale.instances, scale.reps.min(10)),
         "platform" => tables::platform_table(),
         "all" => {
             tables::platform_table();
@@ -66,12 +68,13 @@ fn main() {
             extended::extras_sweep(scale);
             extended::deadline_map();
             extended::robustness(scale.instances, scale.reps);
+            extended::fault_study(scale.instances, scale.reps.min(10));
         }
         other => {
             eprintln!("unknown or missing command `{other}`\n");
             eprintln!(
                 "usage: wfs-experiments [--fast] \
-                 <fig1|fig2|fig3|fig4|table3a|table3b|sigma|sizes|online|extras|platform|all>"
+                 <fig1|fig2|fig3|fig4|table3a|table3b|sigma|sizes|online|extras|faults|platform|all>"
             );
             std::process::exit(2);
         }

@@ -28,7 +28,8 @@ pub fn heft(wf: &Workflow, platform: &Platform) -> Schedule {
 /// Run HEFTBUDG with initial budget `b_ini` (Algorithm 4). Returns the
 /// schedule and the priority list (the refinement algorithms reuse it).
 pub fn heft_budg(wf: &Workflow, platform: &Platform, b_ini: f64) -> (Schedule, Vec<TaskId>) {
-    heft_inner(wf, platform, Some(b_ini), Pot::new())
+    let (s, list, _) = heft_inner(wf, platform, Some(b_ini), Pot::new());
+    (s, list)
 }
 
 /// HEFTBUDG with an explicit pot configuration (ablation hook).
@@ -38,7 +39,16 @@ pub fn heft_budg_with_pot(
     b_ini: f64,
     pot: Pot,
 ) -> (Schedule, Vec<TaskId>) {
-    heft_inner(wf, platform, Some(b_ini), pot)
+    let (s, list, _) = heft_inner(wf, platform, Some(b_ini), pot);
+    (s, list)
+}
+
+/// HEFTBUDG that also returns the final [`Pot`], so a caller can carry the
+/// unspent leftovers into a later planning round (the recovery layer
+/// re-plans the residual DAG per epoch and threads the pot through).
+pub fn heft_budg_carry(wf: &Workflow, platform: &Platform, b_ini: f64, pot: Pot) -> (Schedule, Pot) {
+    let (s, _, pot) = heft_inner(wf, platform, Some(b_ini), pot);
+    (s, pot)
 }
 
 fn heft_inner(
@@ -46,7 +56,7 @@ fn heft_inner(
     platform: &Platform,
     b_ini: Option<f64>,
     mut pot: Pot,
-) -> (Schedule, Vec<TaskId>) {
+) -> (Schedule, Vec<TaskId>, Pot) {
     let split = b_ini.map(|b| divide_budget(wf, platform, b));
     let list = priority_list(wf, platform);
     let mut plan = PlanState::new(wf, platform);
@@ -62,7 +72,7 @@ fn heft_inner(
         }
     }
     debug_assert!(plan.is_complete());
-    (plan.into_schedule(), list)
+    (plan.into_schedule(), list, pot)
 }
 
 #[cfg(test)]

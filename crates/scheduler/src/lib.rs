@@ -46,6 +46,7 @@ mod maxmin;
 mod minmin;
 mod online;
 mod plan;
+pub mod recovery;
 pub mod reference;
 mod refine;
 
@@ -58,9 +59,12 @@ pub use budget::{
 pub use cg::{cg, cg_plus};
 pub use deadline::{min_budget_for_deadline, plan_bicriteria, Bicriteria};
 pub use ensemble::{schedule_ensemble, AdmittedWorkflow, EnsembleMember, EnsembleResult};
-pub use heft::{heft, heft_budg, heft_budg_with_pot, priority_list};
+pub use heft::{heft, heft_budg, heft_budg_carry, heft_budg_with_pot, priority_list};
 pub use maxmin::{max_min, max_min_budg, sufferage, sufferage_budg};
 pub use minmin::{min_min, min_min_budg, min_min_budg_with_pot};
 pub use online::{run_online, OnlineConfig, OnlineOutcome};
 pub use plan::{Candidate, HostEval, PlanState};
+pub use recovery::{
+    run_with_recovery, EpochRecord, RecoveryConfig, RecoveryOutcome, RecoveryPolicy,
+};
 pub use refine::{heft_budg_plus, min_min_budg_plus, refine_schedule, RefineOrder};

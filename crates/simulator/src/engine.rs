@@ -14,11 +14,22 @@
 //! - Task weights are realized per the configured [`WeightModel`].
 //! - The datacenter capacity is infinite by default; the finite mode
 //!   fair-shares an aggregate capacity among in-flight transfers.
+//!
+//! The engine can additionally inject faults from a [`FaultConfig`]
+//! (crash-stop VM failures, transient boot failures, datacenter
+//! degradation windows — DESIGN.md §9). With [`FaultConfig::none`] no
+//! event is injected and no arithmetic changes, so [`simulate`] is
+//! bit-identical to the pre-fault engine.
+//!
+//! [`WeightModel`]: crate::weights::WeightModel
 
 use crate::config::{DcCapacity, SimConfig};
+use crate::faults::{sample_exponential, FaultConfig, FaultRun, FaultStats};
 use crate::report::{SimulationReport, TaskRecord, VmUsage};
 use crate::schedule::{Schedule, ScheduleError, VmId};
 use crate::weights::realize_weights;
+use rand::rngs::StdRng;
+use rand::Rng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use wfs_platform::Platform;
@@ -35,10 +46,13 @@ pub enum SimError {
     /// The schedule failed validation.
     Schedule(ScheduleError),
     /// The simulation stalled with unfinished tasks (should be impossible
-    /// for validated schedules; kept as a defensive backstop).
+    /// for validated schedules without faults; kept as a defensive
+    /// backstop).
     Stalled {
         /// Number of tasks that did complete.
         completed: usize,
+        /// Ids of the tasks that never completed, in id order.
+        unfinished: Vec<TaskId>,
     },
 }
 
@@ -46,8 +60,15 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::Schedule(e) => write!(f, "invalid schedule: {e}"),
-            SimError::Stalled { completed } => {
-                write!(f, "simulation stalled after {completed} tasks")
+            SimError::Stalled { completed, unfinished } => {
+                write!(f, "simulation stalled after {completed} tasks; unfinished:")?;
+                for t in unfinished.iter().take(8) {
+                    write!(f, " T{}", t.0)?;
+                }
+                if unfinished.len() > 8 {
+                    write!(f, " … ({} total)", unfinished.len())?;
+                }
+                Ok(())
             }
         }
     }
@@ -66,6 +87,21 @@ impl From<ScheduleError> for SimError {
 enum Event {
     BootDone(usize),
     TaskDone { vm: usize, task: TaskId },
+    /// Crash-stop failure of a VM (fault injection).
+    VmCrash(usize),
+    /// A datacenter degradation window opens (fault injection).
+    DegradeStart,
+    /// The current degradation window closes (fault injection).
+    DegradeEnd,
+}
+
+impl Event {
+    /// Events that represent pending *work* (as opposed to injected
+    /// faults). The degradation stream re-arms itself only while work
+    /// remains, which guarantees the event loop drains.
+    fn is_work(self) -> bool {
+        matches!(self, Event::BootDone(_) | Event::TaskDone { .. })
+    }
 }
 
 /// Heap entry ordered by (time, sequence) — sequence keeps pops FIFO-stable
@@ -116,6 +152,8 @@ struct Download {
 /// A pending upload: data a completed task must push to the datacenter.
 #[derive(Debug, Clone, Copy)]
 struct Upload {
+    /// The producing task (durability tracking for external outputs).
+    task: TaskId,
     /// `None` = external output.
     edge: Option<EdgeId>,
     bytes: f64,
@@ -154,6 +192,9 @@ struct VmState {
     boot_gate: usize,
     last_activity: f64,
     tasks_run: usize,
+    /// Crashed, or abandoned after exhausting boot retries. Dead VMs run
+    /// nothing and transfer nothing for the rest of the run.
+    dead: bool,
 }
 
 struct Engine<'a> {
@@ -162,6 +203,7 @@ struct Engine<'a> {
     schedule: &'a Schedule,
     weights: Vec<f64>,
     dc_capacity: DcCapacity,
+    faults: FaultConfig,
     now: f64,
     seq: u64,
     heap: BinaryHeap<Reverse<HeapEntry>>,
@@ -171,8 +213,20 @@ struct Engine<'a> {
     missing: Vec<usize>,
     done: Vec<bool>,
     edge_at_dc: Vec<bool>,
+    /// Per task: external output uploaded to the datacenter.
+    ext_out_done: Vec<bool>,
+    /// Per VM: actual boot delay including fault retries.
+    boot_delay: Vec<Option<f64>>,
     records: Vec<TaskRecord>,
     completed: usize,
+    /// Pending work events (BootDone/TaskDone) in the heap.
+    work_events: usize,
+    /// Bandwidth multiplier of the active degradation window (1.0 = none).
+    bw_factor: f64,
+    /// Start of the active degradation window.
+    window_start: f64,
+    degrade_rng: StdRng,
+    stats: FaultStats,
 }
 
 impl<'a> Engine<'a> {
@@ -181,6 +235,7 @@ impl<'a> Engine<'a> {
         platform: &'a Platform,
         schedule: &'a Schedule,
         config: &SimConfig,
+        faults: &FaultConfig,
     ) -> Self {
         let n = wf.task_count();
         let weights = realize_weights(wf, config.weights);
@@ -200,6 +255,7 @@ impl<'a> Engine<'a> {
                 boot_gate: 0,
                 last_activity: 0.0,
                 tasks_run: 0,
+                dead: false,
             })
             .collect();
 
@@ -244,12 +300,30 @@ impl<'a> Engine<'a> {
             }
         }
 
+        // Records start zeroed but carry their real task id, so partial
+        // (faulted) runs report unambiguous `end == 0` placeholders.
+        let mut records = vec![
+            TaskRecord {
+                task: TaskId(0),
+                vm: VmId(0),
+                start: 0.0,
+                end: 0.0,
+                realized_weight: 0.0,
+            };
+            n
+        ];
+        for (t, r) in wf.task_ids().zip(records.iter_mut()) {
+            r.task = t;
+        }
+
+        let n_vms = vms.len();
         Self {
             wf,
             platform,
             schedule,
             weights,
             dc_capacity: config.dc_capacity,
+            faults: *faults,
             now: 0.0,
             seq: 0,
             heap: BinaryHeap::new(),
@@ -258,34 +332,42 @@ impl<'a> Engine<'a> {
             missing,
             done: vec![false; n],
             edge_at_dc: vec![false; wf.edge_count()],
-            records: vec![
-                TaskRecord {
-                    task: TaskId(0),
-                    vm: VmId(0),
-                    start: 0.0,
-                    end: 0.0,
-                    realized_weight: 0.0,
-                };
-                n
-            ],
+            ext_out_done: vec![false; n],
+            boot_delay: vec![None; n_vms],
+            records,
             completed: 0,
+            work_events: 0,
+            bw_factor: 1.0,
+            window_start: 0.0,
+            degrade_rng: faults.degrade_rng(),
+            stats: FaultStats::default(),
         }
     }
 
     fn push_event(&mut self, time: f64, event: Event) {
+        if event.is_work() {
+            self.work_events += 1;
+        }
         self.seq += 1;
         self.heap.push(Reverse(HeapEntry { time, seq: self.seq, event }));
     }
 
+    /// Current datacenter bandwidth; scaled down inside a degradation
+    /// window. With `bw_factor == 1.0` the product is IEEE-exact, keeping
+    /// fault-free runs bit-identical.
     fn bandwidth(&self) -> f64 {
-        self.platform.datacenter.bandwidth
+        self.platform.datacenter.bandwidth * self.bw_factor
     }
 
     /// Fair-share rate under the current number of in-flight transfers.
+    /// Degradation windows scale the aggregate capacity too — the window
+    /// models the datacenter side of the link, not a single VM NIC.
     fn share_rate(&self, n_active: usize) -> f64 {
         match self.dc_capacity {
             DcCapacity::Infinite => self.bandwidth(),
-            DcCapacity::Finite(cap) => self.bandwidth().min(cap / n_active.max(1) as f64),
+            DcCapacity::Finite(cap) => {
+                self.bandwidth().min(cap * self.bw_factor / n_active.max(1) as f64)
+            }
         }
     }
 
@@ -300,12 +382,32 @@ impl<'a> Engine<'a> {
         debug_assert!(self.vms[v].booked_at.is_none());
         self.vms[v].booked_at = Some(self.now);
         let boot = self.platform.category(self.schedule.vm_category(VmId(v as u32))).boot_time;
-        self.push_event(self.now + boot, Event::BootDone(v));
+        let mut delay = boot;
+        if let Some(bf) = self.faults.boot {
+            let mut rng = self.faults.boot_rng(v);
+            let mut failures: u32 = 0;
+            // Each attempt fails independently; every failure repeats the
+            // boot delay scaled by the retry backoff. Boot time is
+            // uncharged (§III), so abandoned instances bill nothing.
+            while rng.gen::<f64>() < bf.fail_prob {
+                failures += 1;
+                if failures > bf.max_retries {
+                    self.stats.boot_retries += bf.max_retries as usize;
+                    self.stats.boot_abandoned += 1;
+                    self.vms[v].dead = true;
+                    return;
+                }
+                delay += boot * bf.backoff.powf(f64::from(failures));
+            }
+            self.stats.boot_retries += failures as usize;
+        }
+        self.boot_delay[v] = Some(delay);
+        self.push_event(self.now + delay, Event::BootDone(v));
     }
 
     /// Start the best ready pending download on `v`, if its in-link is free.
     fn try_start_download(&mut self, v: usize) {
-        if !self.vms[v].ready || self.vms[v].in_busy {
+        if !self.vms[v].ready || self.vms[v].dead || self.vms[v].in_busy {
             return;
         }
         // Position of each task in the VM order: prefer inputs of earlier
@@ -340,7 +442,7 @@ impl<'a> Engine<'a> {
 
     /// Start the next queued upload on `v`, if its out-link is free.
     fn try_start_upload(&mut self, v: usize) {
-        if self.vms[v].out_busy {
+        if self.vms[v].out_busy || self.vms[v].dead {
             return;
         }
         if let Some(u) = self.vms[v].uploads.pop_front() {
@@ -359,7 +461,7 @@ impl<'a> Engine<'a> {
     /// Start the next task on `v` if the processor is free and inputs are in.
     fn try_start_compute(&mut self, v: usize) {
         let vm = &self.vms[v];
-        if !vm.ready || vm.proc_busy || vm.next_idx >= vm.order.len() {
+        if !vm.ready || vm.dead || vm.proc_busy || vm.next_idx >= vm.order.len() {
             return;
         }
         let t = vm.order[vm.next_idx];
@@ -389,7 +491,9 @@ impl<'a> Engine<'a> {
         // Satisfy same-VM consumers; queue uploads for cross-VM edges.
         for &e in self.wf.out_edges(t) {
             if self.schedule.is_cross_vm(self.wf, e) {
-                self.vms[v].uploads.push_back(Upload { edge: Some(e), bytes: self.wf.edge(e).size });
+                self.vms[v]
+                    .uploads
+                    .push_back(Upload { task: t, edge: Some(e), bytes: self.wf.edge(e).size });
             } else {
                 let c = self.wf.edge(e).to;
                 self.missing[c.index()] -= 1;
@@ -399,7 +503,7 @@ impl<'a> Engine<'a> {
         }
         let ext_out = self.wf.task(t).external_output;
         if ext_out > 0.0 {
-            self.vms[v].uploads.push_back(Upload { edge: None, bytes: ext_out });
+            self.vms[v].uploads.push_back(Upload { task: t, edge: None, bytes: ext_out });
         }
         self.try_start_upload(v);
         self.try_start_compute(v);
@@ -409,8 +513,97 @@ impl<'a> Engine<'a> {
         self.vms[v].ready = true;
         self.vms[v].ready_at = self.now;
         self.vms[v].last_activity = self.now;
+        // Crash-stop fault: the VM's time-to-failure starts ticking the
+        // moment it becomes operational.
+        if let Some(cm) = self.faults.crash {
+            let cat = self.schedule.vm_category(VmId(v as u32));
+            let mut rng = self.faults.crash_rng(v);
+            let ttf = cm.sample_ttf(cat.0, &mut rng);
+            if ttf.is_finite() {
+                self.push_event(self.now + ttf, Event::VmCrash(v));
+            }
+        }
         self.try_start_download(v);
         self.try_start_compute(v);
+    }
+
+    /// Crash-stop failure: in-flight work and transfers are lost; the
+    /// occupied interval up to the crash stays billed (Eq. 1).
+    fn on_crash(&mut self, v: usize) {
+        if self.vms[v].dead {
+            return;
+        }
+        let idle_done = {
+            let vm = &self.vms[v];
+            vm.next_idx >= vm.order.len()
+                && !vm.proc_busy
+                && !vm.in_busy
+                && !vm.out_busy
+                && vm.uploads.is_empty()
+        };
+        if idle_done {
+            // The VM already pushed its last byte and would have been
+            // released — a later crash hits nothing and bills nothing.
+            return;
+        }
+        self.vms[v].dead = true;
+        self.stats.crashes += 1;
+        // Billed through the crash instant: the tail since the last
+        // completed activity was paid for but produced nothing durable.
+        self.stats.wasted_billed_seconds += (self.now - self.vms[v].last_activity).max(0.0);
+        self.vms[v].last_activity = self.now;
+        // The in-flight task's computation is lost; its stale TaskDone
+        // event is skipped at pop via the dead flag.
+        if self.vms[v].proc_busy {
+            let t = self.vms[v].order[self.vms[v].next_idx];
+            self.stats.tasks_lost += 1;
+            self.stats.wasted_compute_seconds +=
+                (self.now - self.records[t.index()].start).max(0.0);
+            let r = &mut self.records[t.index()];
+            r.start = 0.0;
+            r.end = 0.0;
+            r.realized_weight = 0.0;
+            self.vms[v].proc_busy = false;
+        }
+        // In-flight transfers on this VM's link die with it.
+        let before = self.active.len();
+        self.active.retain(|a| a.vm != v);
+        if self.active.len() != before {
+            self.recompute_rates();
+        }
+        self.vms[v].uploads.clear();
+        self.vms[v].in_busy = false;
+        self.vms[v].out_busy = false;
+    }
+
+    /// Any work left that degradation windows could still affect?
+    fn work_remains(&self) -> bool {
+        self.work_events > 0 || !self.active.is_empty()
+    }
+
+    fn on_degrade_start(&mut self) {
+        let Some(dm) = self.faults.degradation else { return };
+        if !self.work_remains() {
+            // Quiescent: stop the window stream so the event loop drains.
+            return;
+        }
+        self.bw_factor = dm.factor;
+        self.window_start = self.now;
+        self.stats.degradation_windows += 1;
+        self.recompute_rates();
+        let dur = sample_exponential(dm.mean_duration, &mut self.degrade_rng);
+        self.push_event(self.now + dur, Event::DegradeEnd);
+    }
+
+    fn on_degrade_end(&mut self) {
+        let Some(dm) = self.faults.degradation else { return };
+        self.stats.degraded_seconds += self.now - self.window_start;
+        self.bw_factor = 1.0;
+        self.recompute_rates();
+        if self.work_remains() {
+            let gap = sample_exponential(dm.mean_gap, &mut self.degrade_rng);
+            self.push_event(self.now + gap, Event::DegradeStart);
+        }
     }
 
     fn on_download_done(&mut self, v: usize, idx: usize) {
@@ -448,11 +641,15 @@ impl<'a> Engine<'a> {
                 }
             }
             self.try_start_download(cv);
+        } else {
+            // External output safely at the datacenter: the producer's
+            // result is durable even if its VM dies later.
+            self.ext_out_done[u.task.index()] = true;
         }
         self.try_start_upload(v);
     }
 
-    fn run(mut self) -> Result<SimulationReport, SimError> {
+    fn run(mut self) -> Result<FaultRun, SimError> {
         // Book every VM whose boot gate is already open (first task has no
         // cross-VM inputs: entry tasks, or tasks with same-VM-only preds
         // cannot be first, so this means entries / no inputs).
@@ -460,6 +657,11 @@ impl<'a> Engine<'a> {
             if !self.vms[v].order.is_empty() && self.vms[v].boot_gate == 0 {
                 self.book_vm(v);
             }
+        }
+        // Arm the degradation-window stream.
+        if let Some(dm) = self.faults.degradation {
+            let gap = sample_exponential(dm.mean_gap, &mut self.degrade_rng);
+            self.push_event(self.now + gap, Event::DegradeStart);
         }
 
         loop {
@@ -519,9 +721,19 @@ impl<'a> Engine<'a> {
             while let Some(Reverse(h)) = self.heap.peek().copied() {
                 if h.time <= self.now + T_EPS {
                     self.heap.pop();
+                    if h.event.is_work() {
+                        self.work_events -= 1;
+                    }
                     match h.event {
-                        Event::BootDone(v) => self.on_boot_done(v),
-                        Event::TaskDone { vm, task } => self.on_task_done(vm, task),
+                        Event::BootDone(v) if !self.vms[v].dead => self.on_boot_done(v),
+                        Event::TaskDone { vm, task } if !self.vms[vm].dead => {
+                            self.on_task_done(vm, task);
+                        }
+                        // Stale work events of dead VMs.
+                        Event::BootDone(_) | Event::TaskDone { .. } => {}
+                        Event::VmCrash(v) => self.on_crash(v),
+                        Event::DegradeStart => self.on_degrade_start(),
+                        Event::DegradeEnd => self.on_degrade_end(),
                     }
                 } else {
                     break;
@@ -529,10 +741,44 @@ impl<'a> Engine<'a> {
             }
         }
 
-        if self.completed != self.wf.task_count() {
-            return Err(SimError::Stalled { completed: self.completed });
+        if self.faults.is_none() && self.completed != self.wf.task_count() {
+            let unfinished: Vec<TaskId> =
+                self.wf.task_ids().filter(|t| !self.done[t.index()]).collect();
+            return Err(SimError::Stalled { completed: self.completed, unfinished });
         }
-        Ok(self.build_report())
+        let (durable, complete) = self.durability();
+        Ok(FaultRun {
+            report: self.build_report(),
+            stats: self.stats.clone(),
+            finished: self.done.clone(),
+            durable,
+            boot_delays: self.boot_delay.clone(),
+            complete,
+        })
+    }
+
+    /// Which tasks are *durably* complete? Data at the datacenter is
+    /// durable; data on a VM is volatile (VMs are released — or crashed —
+    /// at the end of the run). Computed in reverse topological order:
+    /// a task is durable iff it finished, its external output (if any) was
+    /// uploaded, and each out-edge either reached the datacenter or fed a
+    /// consumer that is itself durable (the value was fully consumed).
+    fn durability(&self) -> (Vec<bool>, bool) {
+        let n = self.wf.task_count();
+        let mut durable = vec![false; n];
+        let mut complete = true;
+        for &t in self.wf.topological_order().iter().rev() {
+            let i = t.index();
+            let ext_ok = self.wf.task(t).external_output <= 0.0 || self.ext_out_done[i];
+            let outs_ok = self
+                .wf
+                .out_edges(t)
+                .iter()
+                .all(|&e| self.edge_at_dc[e.index()] || durable[self.wf.edge(e).to.index()]);
+            durable[i] = self.done[i] && ext_ok && outs_ok;
+            complete &= durable[i];
+        }
+        (durable, complete)
     }
 
     fn build_report(&self) -> SimulationReport {
@@ -542,6 +788,11 @@ impl<'a> Engine<'a> {
         let mut vm_cost_total = 0.0;
         for (v, vm) in self.vms.iter().enumerate() {
             let Some(booked) = vm.booked_at else { continue };
+            if !vm.ready {
+                // Boot never completed (abandoned by a fault): the
+                // provider never handed the instance over — nothing billed.
+                continue;
+            }
             let cat_id = self.schedule.vm_category(VmId(v as u32));
             let usage = vm.last_activity - vm.ready_at;
             let cost = self.platform.vm_cost(cat_id, usage);
@@ -585,5 +836,20 @@ pub fn simulate(
     config: &SimConfig,
 ) -> Result<SimulationReport, SimError> {
     schedule.validate(wf)?;
-    Engine::new(wf, platform, schedule, config).run()
+    Engine::new(wf, platform, schedule, config, &FaultConfig::none()).run().map(|r| r.report)
+}
+
+/// Validate `schedule` and simulate with fault injection. With faults the
+/// run cannot "stall": tasks stranded by crashed or abandoned VMs simply
+/// stay unfinished and the returned [`FaultRun`] reports `complete =
+/// false` with the partial cost billed so far.
+pub fn simulate_with_faults(
+    wf: &Workflow,
+    platform: &Platform,
+    schedule: &Schedule,
+    config: &SimConfig,
+    faults: &FaultConfig,
+) -> Result<FaultRun, SimError> {
+    schedule.validate(wf)?;
+    Engine::new(wf, platform, schedule, config, faults).run()
 }

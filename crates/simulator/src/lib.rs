@@ -26,6 +26,7 @@
 
 mod config;
 mod engine;
+pub mod faults;
 pub mod lint;
 pub mod metrics;
 mod report;
@@ -34,8 +35,11 @@ pub mod svg;
 mod weights;
 
 pub use config::{DcCapacity, SimConfig};
-pub use engine::{simulate, SimError};
-pub use lint::{plan_lint, PlanViolation};
+pub use engine::{simulate, simulate_with_faults, SimError};
+pub use faults::{
+    stream_seed, BootFaultModel, CrashModel, DegradationModel, FaultConfig, FaultRun, FaultStats,
+};
+pub use lint::{plan_lint, plan_lint_faulted, FaultLintContext, PlanViolation};
 pub use report::{SimulationReport, TaskRecord, VmUsage};
 pub use schedule::{Schedule, ScheduleError, VmId};
 pub use weights::{realize_weights, sample_standard_normal, WeightModel};

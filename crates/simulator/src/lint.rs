@@ -220,6 +220,18 @@ fn effective_bytes(size: f64) -> f64 {
     (size - DRAIN_EPS).max(0.0)
 }
 
+/// What a fault-truncated run actually executed — lets the linter verify
+/// the same invariant families on the prefix that ran while skipping tasks
+/// that crashes or abandoned boots prevented from running at all.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultLintContext<'a> {
+    /// Per task: computation finished during the run.
+    pub finished: &'a [bool],
+    /// Per VM: actual boot delay including fault retries (`None` = the VM
+    /// was never booked, or its boot was abandoned).
+    pub boot_delays: &'a [Option<f64>],
+}
+
 /// Lint the executed plan; returns all violations found (empty = clean).
 ///
 /// `budget` enables the Eq. 3 budget clause; pass `None` for baselines or
@@ -231,14 +243,44 @@ pub fn plan_lint(
     report: &SimulationReport,
     budget: Option<f64>,
 ) -> Vec<PlanViolation> {
+    lint_impl(wf, platform, schedule, report, budget, None)
+}
+
+/// Lint a fault-truncated execution (see [`FaultLintContext`]): every
+/// invariant family is checked on the tasks that ran; VMs whose boot
+/// faults cost extra delay are held to their *actual* boot delay.
+pub fn plan_lint_faulted(
+    wf: &Workflow,
+    platform: &Platform,
+    schedule: &Schedule,
+    report: &SimulationReport,
+    budget: Option<f64>,
+    ctx: &FaultLintContext<'_>,
+) -> Vec<PlanViolation> {
+    lint_impl(wf, platform, schedule, report, budget, Some(ctx))
+}
+
+fn lint_impl(
+    wf: &Workflow,
+    platform: &Platform,
+    schedule: &Schedule,
+    report: &SimulationReport,
+    budget: Option<f64>,
+    ctx: Option<&FaultLintContext<'_>>,
+) -> Vec<PlanViolation> {
     let mut v = Vec::new();
     let bw = platform.datacenter.bandwidth;
+    let ran = |t: TaskId| ctx.is_none_or(|c| c.finished[t.index()]);
 
     // Usage record per VM id (report.vms only holds booked VMs).
     let usage_of = |vm: VmId| report.vms.iter().find(|u| u.vm == vm);
 
     // --- 1. Precedence feasibility ------------------------------------
     for e in wf.edges() {
+        if !ran(e.from) || !ran(e.to) {
+            // Fault-truncated edge: one endpoint never ran.
+            continue;
+        }
         let prod = report.task(e.from);
         let cons = report.task(e.to);
         let same_vm = prod.vm == cons.vm;
@@ -265,13 +307,21 @@ pub fn plan_lint(
         if order.is_empty() {
             continue;
         }
+        let ran_any = order.iter().any(|&t| ran(t));
         let Some(usage) = usage_of(vm) else {
-            v.push(PlanViolation::MissingVmUsage { vm });
+            // A VM that ran nothing (boot abandoned, or its inputs were
+            // stranded by another VM's fault) is legitimately absent.
+            if ran_any {
+                v.push(PlanViolation::MissingVmUsage { vm });
+            }
             continue;
         };
 
-        // Boot delay (invariant 3).
-        let boot = platform.category(schedule.vm_category(vm)).boot_time;
+        // Boot delay (invariant 3). Boot faults stretch the delay; the
+        // context carries the actual per-VM value.
+        let boot = ctx
+            .and_then(|c| c.boot_delays.get(vm.index()).copied().flatten())
+            .unwrap_or_else(|| platform.category(schedule.vm_category(vm)).boot_time);
         let expected_ready = usage.booked_at + boot;
         if (usage.ready_at - expected_ready).abs() > tol(expected_ready) {
             v.push(PlanViolation::BootDelay { vm, expected_ready, ready_at: usage.ready_at });
@@ -282,6 +332,11 @@ pub fn plan_lint(
         let mut inbound_bytes = 0.0f64;
         let mut last_end = 0.0f64;
         for &t in order {
+            if !ran(t) {
+                // Tasks execute strictly in schedule order; the first
+                // fault-truncated task ends the checkable prefix.
+                break;
+            }
             let rec = report.task(t);
             if rec.vm != vm {
                 v.push(PlanViolation::WrongVm { task: t, expected: vm, actual: rec.vm });

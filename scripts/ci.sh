@@ -16,6 +16,22 @@ cargo clippy --release --workspace --all-targets -- -D warnings
 echo "== wfs-analyze (banned-pattern scan vs analyze-allow.txt)"
 cargo run --release -p wfs-analyze -- --workspace
 
+echo "== fault-injection smoke grid (2 workflows x 2 policies, fixed seeds)"
+WFS=target/release/wfs
+FAULTS_TMP=$(mktemp -d)
+trap 'rm -rf "$FAULTS_TMP"' EXIT
+"$WFS" gen montage 30 --seed 1 -o "$FAULTS_TMP/montage30.json" >/dev/null
+"$WFS" gen ligo 30 --seed 2 -o "$FAULTS_TMP/ligo30.json" >/dev/null
+for wf in montage30 ligo30; do
+  for pol in retry reschedule; do
+    # --lint makes violations a non-zero exit: recovered plans must stay
+    # invariant-clean in every epoch.
+    "$WFS" faults "$FAULTS_TMP/$wf.json" --budget 3.0 --policy "$pol" \
+      --mtbf 600 --boot-fail 0.1 --seed 7 --max-epochs 24 --lint >/dev/null
+    echo "  faults $wf/$pol: lint-clean"
+  done
+done
+
 echo "== quickbench smoke (1 iteration)"
 cargo run --release -p wfs-bench --bin quickbench -- 1 >/dev/null
 test -s BENCH_sched_time.json

@@ -9,6 +9,9 @@
 //! wfs simulate <workflow.json> <schedule.json> [--seed N | --conservative | --mean]
 //!              [--platform FILE] [--budget B] [--gantt]
 //! wfs sweep <workflow.json> --budgets <b1,b2,...> [--algs <a1,a2,...>] [--platform FILE]
+//! wfs faults <workflow.json> --budget <dollars> [--alg NAME] [--policy failstop|retry|reschedule]
+//!            [--mtbf SECS] [--shape K] [--boot-fail P] [--degrade F:GAP:DUR]
+//!            [--seed N] [--stochastic N] [--max-epochs N] [--platform FILE] [--lint]
 //! wfs platform [-o FILE]
 //! ```
 //!
@@ -39,6 +42,9 @@ const USAGE: &str = "usage:
   wfs simulate <workflow.json> <schedule.json> [--seed N | --conservative | --mean]
                [--platform FILE] [--budget B] [--gantt]
   wfs sweep <workflow.json> --budgets <b1,b2,...> [--algs <a1,a2,...>] [--platform FILE]
+  wfs faults <workflow.json> --budget <dollars> [--alg NAME] [--policy failstop|retry|reschedule]
+             [--mtbf SECS] [--shape K] [--boot-fail P] [--degrade F:GAP:DUR]
+             [--seed N] [--stochastic N] [--max-epochs N] [--platform FILE] [--lint]
   wfs deadline <workflow.json> --deadline <secs> [--platform FILE]
   wfs platform [-o FILE]
 
@@ -110,6 +116,7 @@ fn run(args: &[String]) -> CliResult {
         "schedule" => cmd_schedule(rest),
         "simulate" => cmd_simulate(rest),
         "sweep" => cmd_sweep(rest),
+        "faults" => cmd_faults(rest),
         "deadline" => cmd_deadline(rest),
         "platform" => emit(opt(rest, "-o"), &pretty(&Platform::paper_default())?),
         other => Err(format!("unknown command `{other}`")),
@@ -232,6 +239,90 @@ fn cmd_deadline(args: &[String]) -> CliResult {
         }
         None => Err(format!("deadline {d}s is unreachable at any budget")),
     }
+}
+
+/// `wfs faults <workflow.json> --budget B [--policy P] [...]`: run the
+/// workflow to durable completion under seeded fault injection, recovering
+/// per the chosen policy, and print the per-epoch breakdown.
+fn cmd_faults(args: &[String]) -> CliResult {
+    let wf = load_workflow(args.first().ok_or("faults: missing workflow file")?)?;
+    let budget: f64 = parse(opt(args, "--budget").ok_or("faults: missing --budget")?, "budget")?;
+    if !budget.is_finite() || budget < 0.0 {
+        return Err(format!("budget must be a finite non-negative amount, got {budget}"));
+    }
+    let alg: Algorithm = opt(args, "--alg").map_or(Ok(Algorithm::HeftBudg), |s| parse(s, "algorithm"))?;
+    let policy: RecoveryPolicy =
+        opt(args, "--policy").map_or(Ok(RecoveryPolicy::RescheduleBudgetAware), |s| parse(s, "policy"))?;
+    let platform = load_platform(args)?;
+    let seed: u64 = opt(args, "--seed").map_or(Ok(0), |s| parse(s, "seed"))?;
+
+    let mut faults = FaultConfig::new(seed);
+    if let Some(m) = opt(args, "--mtbf") {
+        let mtbf: f64 = parse(m, "mtbf")?;
+        let crash = match opt(args, "--shape") {
+            Some(k) => CrashModel::weibull(mtbf, parse(k, "shape")?),
+            None => CrashModel::exponential(mtbf),
+        };
+        faults = faults.with_crash(crash);
+    }
+    if let Some(p) = opt(args, "--boot-fail") {
+        faults = faults.with_boot(BootFaultModel::new(parse(p, "boot-fail probability")?, 3));
+    }
+    if let Some(spec) = opt(args, "--degrade") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!("--degrade wants FACTOR:GAP:DURATION, got `{spec}`"));
+        }
+        faults = faults.with_degradation(DegradationModel::new(
+            parse(parts[0], "degrade factor")?,
+            parse(parts[1], "degrade gap")?,
+            parse(parts[2], "degrade duration")?,
+        ));
+    }
+
+    let mut cfg = RecoveryConfig::new(alg, policy, budget, faults);
+    if let Some(s) = opt(args, "--stochastic") {
+        cfg = cfg.with_weights(WeightModel::Stochastic { seed: parse(s, "stochastic seed")? });
+    }
+    if let Some(n) = opt(args, "--max-epochs") {
+        cfg = cfg.with_max_epochs(parse(n, "max epochs")?);
+    }
+    if has_flag(args, "--lint") {
+        cfg = cfg.with_lint();
+    }
+
+    let out = run_with_recovery(&wf, &platform, &cfg).map_err(|e| e.to_string())?;
+    println!("{:<6} {:>6} {:>8} {:>10} {:>10} {:>8} {:>6} {:>6}",
+        "epoch", "tasks", "durable", "cost $", "budget $", "span s", "crash", "retry");
+    for e in &out.epochs {
+        println!(
+            "{:<6} {:>6} {:>8} {:>10.4} {:>10.4} {:>8.0} {:>6} {:>6}",
+            e.epoch, e.scheduled, e.newly_durable, e.cost, e.budget_before, e.makespan,
+            e.stats.crashes, e.stats.boot_retries
+        );
+    }
+    println!();
+    println!("outcome     {}", if out.completed { "COMPLETED" } else { "INCOMPLETE" });
+    println!("policy      {policy} ({alg})");
+    println!("total cost  ${:.4} / ${:.4}{}", out.total_cost, out.budget,
+        if out.within_budget() { "" } else { "  OVER BUDGET" });
+    println!("wall clock  {:.0} s over {} epoch(s), {} re-plan(s)",
+        out.wall_clock, out.epochs.len(), out.replans);
+    println!("faults      {} crash(es), {} task(s) lost, {} boot retry(ies), {} degradation window(s)",
+        out.stats.crashes, out.stats.tasks_lost, out.stats.boot_retries, out.stats.degradation_windows);
+    println!("waste       {:.0} s compute lost, {:.0} s billed-but-wasted",
+        out.stats.wasted_compute_seconds, out.stats.wasted_billed_seconds);
+    if out.degraded_to_cheapest {
+        println!("degraded    fell back to cheapest-category VM (budget exhausted)");
+    }
+    if !out.lint_violations.is_empty() {
+        eprintln!("\nlint violations:");
+        for v in &out.lint_violations {
+            eprintln!("  {v}");
+        }
+        return Err(format!("{} lint violation(s)", out.lint_violations.len()));
+    }
+    Ok(())
 }
 
 fn cmd_sweep(args: &[String]) -> CliResult {

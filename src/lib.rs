@@ -44,10 +44,13 @@ pub mod prelude {
     pub use wfs_scheduler::{
         bdt, cg, cg_plus, divide_budget, heft, heft_budg, heft_budg_plus, max_min, max_min_budg,
         min_budget_for_deadline, min_cost_schedule, min_min, min_min_budg, plan_bicriteria,
-        run_online, sufferage, sufferage_budg, Algorithm, Bicriteria, OnlineConfig, RefineOrder,
+        run_online, run_with_recovery, sufferage, sufferage_budg, Algorithm, Bicriteria,
+        OnlineConfig, RecoveryConfig, RecoveryOutcome, RecoveryPolicy, RefineOrder,
     };
     pub use wfs_simulator::{
-        simulate, DcCapacity, Schedule, SimConfig, SimulationReport, VmId, WeightModel,
+        simulate, simulate_with_faults, BootFaultModel, CrashModel, DcCapacity, DegradationModel,
+        FaultConfig, FaultRun, FaultStats, Schedule, SimConfig, SimulationReport, VmId,
+        WeightModel,
     };
     pub use wfs_workflow::gen::{
         bag_of_tasks, chain, cybershake, epigenomics, fork_join, layered_random, ligo, montage,

@@ -203,3 +203,54 @@ fn workflow_json_roundtrip() {
         );
     }
 }
+
+#[test]
+fn online_none_watchdog_matches_static_run() {
+    // `timeout_sigmas = None` must be byte-for-byte the same execution as
+    // a watchdog that can never fire (absurdly large k): the watchdog
+    // machinery may not perturb the schedule when it never triggers.
+    let mut rng = StdRng::seed_from_u64(77);
+    let p = Platform::paper_default();
+    for case in 0..CASES / 2 {
+        let wf = random_workflow(&mut rng);
+        let b = floor(&wf, &p) * rng.gen_range(1.5..6.0f64);
+        let seed = rng.gen_range(0..100u64);
+        let stat = run_online(&wf, &p, b, OnlineConfig::static_run(seed, b));
+        let never = run_online(&wf, &p, b, OnlineConfig::with_watchdog(seed, b, 1e9));
+        assert_eq!(stat, never, "case {case}");
+        assert_eq!(never.interruptions, 0, "case {case}");
+    }
+}
+
+#[test]
+fn online_interruptions_never_double_bill() {
+    // Whatever the watchdog does — interrupt, migrate, re-dispatch — the
+    // reported total must equal the per-VM usage intervals priced per
+    // category plus the datacenter bill: one interval per VM, no task
+    // billed on two VMs for the same seconds.
+    let mut rng = StdRng::seed_from_u64(78);
+    let p = Platform::paper_default();
+    for case in 0..CASES / 2 {
+        let wf = random_workflow(&mut rng);
+        let b = floor(&wf, &p) * rng.gen_range(1.5..6.0f64);
+        let seed = rng.gen_range(0..100u64);
+        // k = 0.5σ fires often on high-sigma instances.
+        let out = run_online(&wf, &p, b, OnlineConfig::with_watchdog(seed, b, 0.5));
+        let vm_total: f64 = out
+            .vm_usage
+            .iter()
+            .map(|&(cat, secs)| {
+                assert!(secs >= 0.0, "case {case}: negative usage");
+                assert!(secs <= out.makespan + 1e-9, "case {case}: interval exceeds makespan");
+                p.vm_cost(CategoryId(cat), secs)
+            })
+            .sum();
+        let external = wf.external_input_data() + wf.external_output_data();
+        let dc = p.datacenter.cost(out.makespan, external);
+        assert!(
+            (vm_total + dc - out.total_cost).abs() < 1e-9,
+            "case {case}: vm {vm_total} + dc {dc} != total {}",
+            out.total_cost
+        );
+    }
+}
