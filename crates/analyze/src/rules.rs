@@ -22,8 +22,9 @@ pub const RULE_FLOAT_EQ: RuleId = "float-eq";
 /// Narrowing `as` casts between numeric types.
 pub const RULE_NUMERIC_CAST: RuleId = "numeric-cast";
 /// Allocation-prone constructs in the scheduler hot path
-/// (`plan.rs` / `best_host.rs`) and the per-event fault machinery
-/// (`faults.rs` / `recovery.rs`).
+/// (`plan.rs` / `best_host.rs`), the per-event fault machinery
+/// (`faults.rs` / `recovery.rs`), and the observability emission layer
+/// (`observe`'s `event.rs` / `sink.rs`, which sit inside those loops).
 pub const RULE_HOT_PATH_ALLOC: RuleId = "hot-path-alloc";
 
 /// All rules, in reporting order.
@@ -74,14 +75,19 @@ const ALLOC_MACROS: &[&str] = &["vec", "format"];
 
 /// True if `file` is one of the allocation-audited hot-path files: the
 /// planner sweep (`plan.rs` / `best_host.rs`, allocation-free — see
-/// `crates/scheduler/tests/alloc_free.rs`) and the fault layer
+/// `crates/scheduler/tests/alloc_free.rs`), the fault layer
 /// (`faults.rs` runs per simulator event; `recovery.rs` re-plans per
-/// epoch — their allocations are pinned, not banned).
+/// epoch — their allocations are pinned, not banned), and the
+/// observability core (`observe`'s `event.rs` / `sink.rs` are on every
+/// emission site inside those loops and must stay allocation-free so the
+/// `NoopSink` path compiles away).
 pub fn is_hot_path_file(file: &str) -> bool {
     file.ends_with("plan.rs")
         || file.ends_with("best_host.rs")
         || file.ends_with("faults.rs")
         || file.ends_with("recovery.rs")
+        || file.ends_with("observe/src/event.rs")
+        || file.ends_with("observe/src/sink.rs")
 }
 
 /// Scan one file's source text; `file` is used verbatim in findings.
@@ -328,10 +334,18 @@ mod tests {
         assert!(rules_of("other.rs", src).is_empty());
         let rules = rules_of("crates/scheduler/src/plan.rs", src);
         assert_eq!(rules, vec![RULE_HOT_PATH_ALLOC; 3]);
-        // The fault layer is audited too.
-        for hot in ["crates/simulator/src/faults.rs", "crates/scheduler/src/recovery.rs"] {
+        // The fault layer and the observability core are audited too.
+        for hot in [
+            "crates/simulator/src/faults.rs",
+            "crates/scheduler/src/recovery.rs",
+            "crates/observe/src/event.rs",
+            "crates/observe/src/sink.rs",
+        ] {
             assert_eq!(rules_of(hot, src), vec![RULE_HOT_PATH_ALLOC; 3], "{hot}");
         }
+        // Only observe's own event.rs/sink.rs are hot — a stray
+        // `event.rs` elsewhere is not pulled in.
+        assert!(rules_of("crates/other/src/event.rs", src).is_empty());
     }
 
     #[test]

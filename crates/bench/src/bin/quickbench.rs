@@ -6,9 +6,23 @@
 //! schedule) plus the fast-vs-naive speedup to `BENCH_sched_time.json` at
 //! the repository root.
 //!
-//! Usage: `quickbench [iterations]` — `iterations` is the sample count per
-//! cell (default 9; CI smoke runs use 1). Medians over an odd sample count
-//! keep one-off scheduler hiccups out of the reported number.
+//! ```text
+//! quickbench [iterations] [--out FILE] [--gate PINNED] [--tolerance R]
+//! ```
+//!
+//! `iterations` is the sample count per cell (default 9; CI smoke runs
+//! pass 1) — medians over an odd sample count keep one-off scheduler
+//! hiccups out of the reported number. `--out` redirects the JSON (so CI can write to a
+//! temp file instead of clobbering the pinned numbers). `--gate` compares
+//! the measured `fast_ns` medians against a pinned results file and fails
+//! (exit 1) when the *median ratio* across all shared cells exceeds
+//! `--tolerance` (default 1.5): per-cell times are noisy at low iteration
+//! counts, but a genuine systematic regression — e.g. an observability sink
+//! that stopped compiling away — shifts every cell, and the median ratio is
+//! robust to the handful of outliers that sub-millisecond cells produce.
+//! (Full 9-iteration runs on a quiet machine reproduce the pinned medians
+//! to within a few percent; the refinement algorithms' cells are dominated
+//! by whole-schedule re-simulations and swing the most — see DESIGN.md §11.)
 
 use std::time::Instant;
 
@@ -49,15 +63,79 @@ fn time_algorithm(
     median(&mut samples)
 }
 
+/// Extract a `"key": "string"` field from one line of the results JSON
+/// (the file is our own fixed single-cell-per-line format; no JSON parser
+/// needed, and the bench crate stays dependency-free).
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extract a `"key": 123` numeric field from one line of the results JSON.
+fn json_num_field(line: &str, key: &str) -> Option<u128> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String =
+        line[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Load a pinned results file as `(workflow, tasks, algorithm) -> fast_ns`.
+fn load_pinned(path: &str) -> Vec<((String, u128, String), u128)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read pinned results {path}: {e}"));
+    let mut cells = Vec::new();
+    for line in text.lines() {
+        let (Some(wf), Some(tasks), Some(alg), Some(fast)) = (
+            json_str_field(line, "workflow"),
+            json_num_field(line, "tasks"),
+            json_str_field(line, "algorithm"),
+            json_num_field(line, "fast_ns"),
+        ) else {
+            continue;
+        };
+        cells.push(((wf, tasks, alg), fast));
+    }
+    assert!(!cells.is_empty(), "no benchmark cells found in {path}");
+    cells
+}
+
 fn main() {
-    let iterations: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("iterations must be a positive integer"))
-        .unwrap_or(9)
-        .max(1);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut iterations = 9usize;
+    let mut out_path = String::from("BENCH_sched_time.json");
+    let mut gate_path: Option<String> = None;
+    let mut tolerance = 1.5f64;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = argv.get(i).expect("--out wants a path").clone();
+            }
+            "--gate" => {
+                i += 1;
+                gate_path = Some(argv.get(i).expect("--gate wants a pinned results path").clone());
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = argv
+                    .get(i)
+                    .expect("--tolerance wants a ratio")
+                    .parse()
+                    .expect("tolerance must be a number");
+            }
+            s => iterations = s.parse().expect("iterations must be a positive integer"),
+        }
+        i += 1;
+    }
+    let iterations = iterations.max(1);
 
     let p = platform();
     let mut cells = Vec::new();
+    let mut measured: Vec<((String, u128, String), u128)> = Vec::new();
     for (ty_name, ty) in TYPES {
         for size in SIZES {
             let wf = workflow(ty, size);
@@ -87,6 +165,9 @@ fn main() {
                     fast,
                     naive
                 );
+                measured.push(
+                    ((ty_name.to_string(), size as u128, alg.name().to_string()), fast),
+                );
                 cells.push(format!(
                     concat!(
                         "    {{\"workflow\": \"{}\", \"tasks\": {}, \"algorithm\": \"{}\", ",
@@ -107,7 +188,36 @@ fn main() {
         "{{\n  \"unit\": \"ns per schedule (median of {iterations})\",\n  \"results\": [\n{}\n  ]\n}}\n",
         cells.join(",\n")
     );
-    let out = "BENCH_sched_time.json";
-    std::fs::write(out, &json).expect("write benchmark results");
-    eprintln!("wrote {out}");
+    std::fs::write(&out_path, &json).expect("write benchmark results");
+    eprintln!("wrote {out_path}");
+
+    if let Some(pin) = gate_path {
+        let pinned = load_pinned(&pin);
+        let mut ratios: Vec<(f64, String)> = Vec::new();
+        for (key, pinned_fast) in &pinned {
+            let Some((_, fast)) = measured.iter().find(|(k, _)| k == key) else {
+                continue;
+            };
+            let ratio = *fast as f64 / (*pinned_fast).max(1) as f64;
+            ratios.push((ratio, format!("{}-{} {}", key.0, key.1, key.2)));
+        }
+        assert!(!ratios.is_empty(), "no cells shared between this run and {pin}");
+        ratios.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let median_ratio = ratios[ratios.len() / 2].0;
+        eprintln!(
+            "gate vs {pin}: {} cells, median ratio {median_ratio:.3} (tolerance {tolerance:.2})",
+            ratios.len()
+        );
+        for (r, name) in ratios.iter().rev().take(3) {
+            eprintln!("  slowest vs pin: {name} at {r:.2}x");
+        }
+        if median_ratio > tolerance {
+            eprintln!(
+                "GATE FAILED: median fast-path ratio {median_ratio:.3} exceeds {tolerance:.2} — \
+                 a systematic slowdown (is the NoopSink still compiling away?)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("gate OK");
+    }
 }

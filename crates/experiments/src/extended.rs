@@ -288,6 +288,62 @@ pub fn size_sweep() {
     write_text(&results_dir().join("ext_sizes.md"), &md);
 }
 
+/// Planner-work counter tables: per algorithm, the decision-event stream's
+/// structural counters (candidate evaluations, sweeps, cache hits, refine
+/// trials) plus a traced execution's simulator counters — the observability
+/// layer's answer to "where does each heuristic spend its work?".
+pub fn counters_study() {
+    use wfs_observe::{Counters, RecordingSink};
+    use wfs_simulator::simulate_observed;
+    let platform = Platform::paper_default();
+    let mut md = String::from(
+        "## Extended experiment — planner work counters per algorithm\n\n\
+         One 90-task instance per benchmark, budget = 2 x min_cost; counters are\n\
+         derived from the recorded decision-event stream of a single traced\n\
+         plan + stochastic execution (seed 1).\n\n\
+         | workflow | algorithm | cand evals | sweeps | cache hit/miss | placed | new VMs | refine trials | moves | VM boots | transfers |\n\
+         |---|---|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for ty in BenchmarkType::ALL {
+        let wf = ty.generate(GenConfig::new(90, 1));
+        let floor = crate::common::min_cost_floor(&wf, &platform);
+        let budget = floor * 2.0;
+        for alg in [
+            Algorithm::MinMin,
+            Algorithm::Heft,
+            Algorithm::MinMinBudg,
+            Algorithm::HeftBudg,
+            Algorithm::HeftBudgPlus,
+            Algorithm::HeftBudgPlusInv,
+        ] {
+            let mut rec = RecordingSink::new();
+            let sched = alg.run_observed(&wf, &platform, budget, &mut rec);
+            let _ = simulate_observed(&wf, &platform, &sched, &SimConfig::stochastic(1), &mut rec)
+                .expect("valid schedule");
+            let c = Counters::from_events(&rec.events);
+            writeln!(
+                md,
+                "| {} | {} | {} | {} | {}/{} | {} | {} | {} | {} | {} | {} |",
+                ty.name(),
+                alg.name(),
+                c.get("plan_candidate_evals"),
+                c.get("plan_sweeps"),
+                c.get("best_host_cache_hits"),
+                c.get("best_host_cache_misses"),
+                c.get("tasks_placed"),
+                c.get("vms_provisioned"),
+                c.get("refine_trials"),
+                c.get("refine_moves"),
+                c.get("sim_vm_boots"),
+                c.get("sim_transfers"),
+            )
+            .unwrap();
+        }
+        println!("counters study: {} done", ty.name());
+    }
+    write_text(&results_dir().join("ext_counters.md"), &md);
+}
+
 /// Fault-injection study: success rate, cost and waste as the VM failure
 /// rate and the budget vary, per recovery policy. Crash MTBFs span "rare"
 /// to "stormy"; budgets are multiples of each instance's min_cost floor.

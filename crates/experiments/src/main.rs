@@ -17,6 +17,7 @@
 //!   deadline  extended: budget needed per deadline (Eq. 3)
 //!   robustness extended: Gaussian-planned schedules under heavy-tailed reality
 //!   faults    extended: fault injection + budget-aware recovery grid
+//!   counters  extended: planner work counters per algorithm (traced runs)
 //!   platform  Table II — print the platform instantiation
 //!   all       everything above
 //!
@@ -53,6 +54,7 @@ fn main() {
         "deadline" => extended::deadline_map(),
         "robustness" => extended::robustness(scale.instances, scale.reps),
         "faults" => extended::fault_study(scale.instances, scale.reps.min(10)),
+        "counters" => extended::counters_study(),
         "platform" => tables::platform_table(),
         "all" => {
             tables::platform_table();
@@ -69,12 +71,13 @@ fn main() {
             extended::deadline_map();
             extended::robustness(scale.instances, scale.reps);
             extended::fault_study(scale.instances, scale.reps.min(10));
+            extended::counters_study();
         }
         other => {
             eprintln!("unknown or missing command `{other}`\n");
             eprintln!(
                 "usage: wfs-experiments [--fast] \
-                 <fig1|fig2|fig3|fig4|table3a|table3b|sigma|sizes|online|extras|faults|platform|all>"
+                 <fig1|fig2|fig3|fig4|table3a|table3b|sigma|sizes|online|extras|faults|counters|platform|all>"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,345 @@
+//! Chrome-trace-event JSON exporter (loadable in `chrome://tracing` and
+//! Perfetto).
+//!
+//! Layout: one *process* per recovery epoch (`pid` = epoch; single runs are
+//! epoch 0) and three *threads* per VM — compute (`tid = 3·vm`), downloads
+//! (`3·vm + 1`) and uploads (`3·vm + 2`) — plus one datacenter track
+//! ([`DC_TID`]) for degradation windows. Boots, tasks and transfers become
+//! complete spans (`ph:"X"`, `ts`/`dur` in microseconds); crashes, aborts
+//! and abandoned boots become instants (`ph:"i"`). Multi-epoch recovery runs
+//! are laid onto one global timeline via [`Event::EpochStarted`]'s
+//! wall-clock offset.
+//!
+//! The JSON is hand-formatted (the crate is dependency-free); timestamps are
+//! finite by construction so the output is always valid JSON.
+
+use crate::event::Event;
+use crate::sink::EventSink;
+use std::collections::BTreeMap;
+
+/// The `tid` of the datacenter track (degradation windows).
+pub const DC_TID: u64 = u64::MAX;
+
+/// Microseconds per simulated second (trace-event `ts`/`dur` unit).
+const US: f64 = 1e6;
+
+#[derive(Debug, Clone)]
+struct Span {
+    name: String,
+    cat: &'static str,
+    ts: f64,
+    dur: f64,
+    pid: u32,
+    tid: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Inst {
+    name: String,
+    ts: f64,
+    pid: u32,
+    tid: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Open {
+    name: String,
+    cat: &'static str,
+    ts: f64,
+}
+
+/// Incremental Chrome-trace builder; also an [`EventSink`], so it can be
+/// fed live or via [`ChromeTrace::from_events`].
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    epoch: u32,
+    t_offset: f64,
+    open: BTreeMap<(u32, u64), Open>,
+    spans: Vec<Span>,
+    instants: Vec<Inst>,
+    threads: BTreeMap<(u32, u64), String>,
+    processes: BTreeMap<u32, String>,
+}
+
+impl ChromeTrace {
+    /// An empty trace (epoch 0, zero offset).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a trace from a recorded event stream.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut t = Self::new();
+        for e in events {
+            t.record(e);
+        }
+        t
+    }
+
+    /// Number of complete spans accumulated so far.
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Number of instant markers accumulated so far.
+    pub fn instant_count(&self) -> usize {
+        self.instants.len()
+    }
+
+    fn ts(&self, t: f64) -> f64 {
+        (self.t_offset + t) * US
+    }
+
+    fn ensure_vm_threads(&mut self, vm: u32, category: Option<u32>) {
+        let base = u64::from(vm) * 3;
+        let pid = self.epoch;
+        self.processes.entry(pid).or_insert_with(|| format!("epoch {pid}"));
+        self.threads.entry((pid, base)).or_insert_with(|| match category {
+            Some(c) => format!("vm{vm} cat{c} compute"),
+            None => format!("vm{vm} compute"),
+        });
+        self.threads.entry((pid, base + 1)).or_insert_with(|| format!("vm{vm} download"));
+        self.threads.entry((pid, base + 2)).or_insert_with(|| format!("vm{vm} upload"));
+    }
+
+    fn open_span(&mut self, tid: u64, name: String, cat: &'static str, t: f64) {
+        let ts = self.ts(t);
+        // A still-open span on this track is closed degenerately first; the
+        // engine serializes activities per track, so this only fires on
+        // truncated (stalled) runs.
+        self.close_span(tid, t, None);
+        self.open.insert((self.epoch, tid), Open { name, cat, ts });
+    }
+
+    fn close_span(&mut self, tid: u64, t: f64, rename: Option<&str>) {
+        if let Some(o) = self.open.remove(&(self.epoch, tid)) {
+            let ts_end = self.ts(t);
+            let name = match rename {
+                Some(r) => format!("{} {}", o.name, r),
+                None => o.name,
+            };
+            self.spans.push(Span {
+                name,
+                cat: o.cat,
+                ts: o.ts,
+                dur: (ts_end - o.ts).max(0.0),
+                pid: self.epoch,
+                tid,
+            });
+        }
+    }
+
+    fn instant(&mut self, tid: u64, name: String, t: f64) {
+        let ts = self.ts(t);
+        self.instants.push(Inst { name, ts, pid: self.epoch, tid });
+    }
+
+    /// Serialize as a trace-event-format JSON object
+    /// (`{"traceEvents":[...]}`).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if first {
+                first = false;
+            } else {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+        };
+        for (pid, name) in &self.processes {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+                escape(name)
+            );
+        }
+        for ((pid, tid), name) in &self.threads {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+                escape(name)
+            );
+        }
+        for s in &self.spans {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{},\"tid\":{}}}",
+                escape(&s.name),
+                s.cat,
+                s.ts,
+                s.dur,
+                s.pid,
+                s.tid
+            );
+        }
+        // Spans left open (stalled runs) are flushed as zero-duration spans
+        // at their start so the file is still well-formed.
+        for ((pid, tid), o) in &self.open {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"name\":\"{} (unclosed)\",\"cat\":\"{}\",\"ts\":{:.3},\"dur\":0.0,\"pid\":{},\"tid\":{}}}",
+                escape(&o.name),
+                o.cat,
+                o.ts,
+                pid,
+                tid
+            );
+        }
+        for i in &self.instants {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"i\",\"name\":\"{}\",\"s\":\"t\",\"ts\":{:.3},\"pid\":{},\"tid\":{}}}",
+                escape(&i.name),
+                i.ts,
+                i.pid,
+                i.tid
+            );
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    // Names are generated from numeric ids, but escape defensively.
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if u32::from(c) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl EventSink for ChromeTrace {
+    fn record(&mut self, event: &Event) {
+        match *event {
+            Event::EpochStarted { epoch, t_offset } => {
+                self.epoch = epoch;
+                self.t_offset = t_offset;
+                self.processes.entry(epoch).or_insert_with(|| format!("epoch {epoch}"));
+            }
+            Event::VmBooked { vm, category, t } => {
+                self.ensure_vm_threads(vm, Some(category));
+                self.open_span(u64::from(vm) * 3, format!("boot vm{vm}"), "boot", t);
+            }
+            Event::VmReady { vm, t } => self.close_span(u64::from(vm) * 3, t, None),
+            Event::BootAbandoned { vm, t } => {
+                self.close_span(u64::from(vm) * 3, t, Some("(abandoned)"));
+                self.instant(u64::from(vm) * 3, format!("boot abandoned vm{vm}"), t);
+            }
+            Event::TaskStarted { task, vm, t } => {
+                self.ensure_vm_threads(vm, None);
+                self.open_span(u64::from(vm) * 3, format!("task {task}"), "task", t);
+            }
+            Event::TaskFinished { vm, t, .. } => self.close_span(u64::from(vm) * 3, t, None),
+            Event::TaskAborted { task, vm, t } => {
+                self.close_span(u64::from(vm) * 3, t, Some("(aborted)"));
+                self.instant(u64::from(vm) * 3, format!("task {task} lost"), t);
+            }
+            Event::TransferStarted { vm, up, edge, bytes, t } => {
+                self.ensure_vm_threads(vm, None);
+                let tid = u64::from(vm) * 3 + if up { 2 } else { 1 };
+                let dir = if up { "up" } else { "down" };
+                let name = if edge < 0 {
+                    format!("{dir} ext {:.0}B", bytes)
+                } else {
+                    format!("{dir} e{edge} {:.0}B", bytes)
+                };
+                self.open_span(tid, name, "transfer", t);
+            }
+            Event::TransferFinished { vm, up, t, .. } => {
+                self.close_span(u64::from(vm) * 3 + if up { 2 } else { 1 }, t, None);
+            }
+            Event::TransferAborted { vm, up, t } => {
+                let tid = u64::from(vm) * 3 + if up { 2 } else { 1 };
+                self.close_span(tid, t, Some("(aborted)"));
+            }
+            Event::VmCrashed { vm, t } => {
+                self.instant(u64::from(vm) * 3, format!("crash vm{vm}"), t);
+            }
+            Event::DegradationStarted { t, factor } => {
+                let pid = self.epoch;
+                self.processes.entry(pid).or_insert_with(|| format!("epoch {pid}"));
+                self.threads.entry((pid, DC_TID)).or_insert_with(|| "datacenter".to_string());
+                self.open_span(DC_TID, format!("degraded x{factor}"), "fault", t);
+            }
+            Event::DegradationEnded { t } => self.close_span(DC_TID, t, None),
+            // Planning decisions and billing do not draw on the timeline.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_close_in_order_and_serialize() {
+        let events = [
+            Event::VmBooked { vm: 0, category: 1, t: 0.0 },
+            Event::VmReady { vm: 0, t: 10.0 },
+            Event::TaskStarted { task: 3, vm: 0, t: 10.0 },
+            Event::TaskFinished { task: 3, vm: 0, t: 25.0 },
+            Event::TransferStarted { vm: 0, up: true, edge: 7, bytes: 1e6, t: 25.0 },
+            Event::TransferFinished { vm: 0, up: true, edge: 7, t: 30.0 },
+        ];
+        let tr = ChromeTrace::from_events(&events);
+        assert_eq!(tr.span_count(), 3);
+        let json = tr.to_json();
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("task 3"));
+        assert!(json.contains("thread_name"));
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn crash_closes_open_work_with_instants() {
+        let events = [
+            Event::VmBooked { vm: 1, category: 0, t: 0.0 },
+            Event::VmReady { vm: 1, t: 5.0 },
+            Event::TaskStarted { task: 9, vm: 1, t: 5.0 },
+            Event::TransferStarted { vm: 1, up: false, edge: -1, bytes: 10.0, t: 5.0 },
+            Event::TaskAborted { task: 9, vm: 1, t: 8.0 },
+            Event::TransferAborted { vm: 1, up: false, t: 8.0 },
+            Event::VmCrashed { vm: 1, t: 8.0 },
+        ];
+        let tr = ChromeTrace::from_events(&events);
+        // boot + aborted task + aborted download are complete spans.
+        assert_eq!(tr.span_count(), 3);
+        assert!(tr.instant_count() >= 2);
+        let json = tr.to_json();
+        assert!(json.contains("(aborted)"));
+        assert!(json.contains("crash vm1"));
+        assert!(json.contains("down ext"));
+    }
+
+    #[test]
+    fn epoch_offsets_shift_timestamps() {
+        let events = [
+            Event::EpochStarted { epoch: 1, t_offset: 100.0 },
+            Event::VmBooked { vm: 0, category: 0, t: 0.0 },
+            Event::VmReady { vm: 0, t: 1.0 },
+        ];
+        let tr = ChromeTrace::from_events(&events);
+        assert_eq!(tr.spans[0].ts, 100.0 * 1e6);
+        assert_eq!(tr.spans[0].pid, 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Deterministic counters and log-bucket histograms.
+//!
+//! Counters are named monotone `u64`s in a `BTreeMap`, so iteration (and
+//! the rendered table) is deterministic. Histograms bucket durations by
+//! `ceil(log2(nanos))` — 64 fixed buckets, no configuration, identical
+//! layout on every platform.
+
+use crate::event::Event;
+use crate::sink::EventSink;
+use std::collections::BTreeMap;
+
+/// A 64-bucket base-2 log histogram of nanosecond durations.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self { buckets: [0; 64], count: 0, sum: 0 }
+    }
+}
+
+impl Histogram {
+    /// Bucket index of a value: 0 holds {0, 1}, bucket `i` holds
+    /// `(2^(i-1), 2^i]`.
+    pub fn bucket_of(value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            64 - usize::try_from((value - 1).leading_zeros()).unwrap_or(0)
+        }
+    }
+
+    /// Record one value.
+    pub fn add(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value).min(63)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of recorded values, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)] // display statistic only
+            {
+                self.sum as f64 / self.count as f64
+            }
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs; the upper bound
+    /// of bucket `i` is `2^i` nanoseconds (`u64::MAX` for bucket 63).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| {
+            let bound = if i >= 63 { u64::MAX } else { 1u64 << i };
+            (bound, c)
+        })
+    }
+}
+
+/// Counter/histogram sink. Consumes explicit [`Event::Counter`] and
+/// [`Event::PhaseNanos`] events and additionally derives a few structural
+/// counters (candidate evaluations, placements, simulator activity) from
+/// the rest of the stream.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    counts: BTreeMap<&'static str, u64>,
+    histos: BTreeMap<&'static str, Histogram>,
+}
+
+impl Counters {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a recorded event stream.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut c = Self::new();
+        for e in events {
+            c.record(e);
+        }
+        c
+    }
+
+    /// Increment a named counter.
+    pub fn bump(&mut self, name: &'static str, delta: u64) {
+        *self.counts.entry(name).or_insert(0) += delta;
+    }
+
+    /// Current value of a counter (0 if never bumped).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The histogram for a phase, if any durations were recorded.
+    pub fn histogram(&self, phase: &str) -> Option<&Histogram> {
+        self.histos.get(phase)
+    }
+
+    /// Render a deterministic text table of counters, followed by phase
+    /// timing summaries.
+    pub fn table(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let width = self.counts.keys().map(|k| k.len()).max().unwrap_or(8).max(8);
+        for (name, v) in &self.counts {
+            let _ = writeln!(s, "{name:width$}  {v:>12}");
+        }
+        for (phase, h) in &self.histos {
+            let _ = writeln!(
+                s,
+                "{phase:width$}  n={} mean={:.0}ns total={}ns",
+                h.count(),
+                h.mean(),
+                h.sum()
+            );
+            for (bound, c) in h.nonzero_buckets() {
+                let _ = writeln!(s, "{:width$}    <= {bound:>12} ns: {c}", "");
+            }
+        }
+        s
+    }
+}
+
+impl EventSink for Counters {
+    fn record(&mut self, event: &Event) {
+        match *event {
+            Event::Counter { name, delta } => self.bump(name, delta),
+            Event::PhaseNanos { phase, nanos } => {
+                self.histos.entry(phase).or_default().add(nanos);
+            }
+            Event::CandidateEvaluated { .. } => self.bump("candidate_evals", 1),
+            Event::TaskPlaced { new_vm, .. } => {
+                self.bump("tasks_placed", 1);
+                if new_vm {
+                    self.bump("vms_provisioned", 1);
+                }
+            }
+            Event::RefineMove { .. } => self.bump("refine_moves", 1),
+            Event::RecoveryEpoch { .. } => self.bump("recovery_epochs", 1),
+            Event::VmBooked { .. } => self.bump("sim_vm_boots", 1),
+            Event::BootAbandoned { .. } => self.bump("sim_boots_abandoned", 1),
+            Event::TaskStarted { .. } => self.bump("sim_task_starts", 1),
+            Event::TaskAborted { .. } => self.bump("sim_tasks_lost", 1),
+            Event::TransferStarted { .. } => self.bump("sim_transfers", 1),
+            Event::VmCrashed { .. } => self.bump("sim_vm_crashes", 1),
+            Event::DegradationStarted { .. } => self.bump("sim_degradations", 1),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(5), 3);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64); // clamped by add()
+    }
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let events = [
+            Event::Counter { name: "cache_hits", delta: 3 },
+            Event::Counter { name: "cache_hits", delta: 2 },
+            Event::PhaseNanos { phase: "plan", nanos: 1500 },
+            Event::PhaseNanos { phase: "plan", nanos: 700 },
+            Event::CandidateEvaluated {
+                task: 0,
+                used: false,
+                host: 0,
+                eft: 1.0,
+                cost: 1.0,
+                affordable: true,
+            },
+        ];
+        let c = Counters::from_events(&events);
+        assert_eq!(c.get("cache_hits"), 5);
+        assert_eq!(c.get("candidate_evals"), 1);
+        assert_eq!(c.get("absent"), 0);
+        let h = c.histogram("plan").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 2200);
+        assert_eq!(h.mean(), 1100.0);
+        let t = c.table();
+        assert!(t.contains("cache_hits"));
+        assert!(t.contains("n=2"));
+    }
+}

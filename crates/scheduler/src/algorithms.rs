@@ -3,9 +3,10 @@
 
 use crate::bdt::bdt;
 use crate::cg::{cg, cg_plus};
-use crate::heft::{heft, heft_budg};
-use crate::minmin::{min_min, min_min_budg};
-use crate::refine::{heft_budg_plus, RefineOrder};
+use crate::heft::{heft, heft_budg, heft_budg_observed, heft_observed};
+use crate::minmin::{min_min, min_min_budg, min_min_budg_observed, min_min_observed};
+use crate::refine::{heft_budg_plus, heft_budg_plus_observed, RefineOrder};
+use wfs_observe::{Event as Obs, EventSink, NoopSink};
 use wfs_platform::Platform;
 use wfs_simulator::Schedule;
 use wfs_workflow::Workflow;
@@ -117,7 +118,41 @@ impl Algorithm {
     /// any violated platform-model invariant (see `DESIGN.md` §8). Release
     /// builds skip the check entirely.
     pub fn run(self, wf: &Workflow, platform: &Platform, budget: f64) -> Schedule {
-        let schedule = self.run_unchecked(wf, platform, budget);
+        self.run_observed(wf, platform, budget, &mut NoopSink)
+    }
+
+    /// [`Self::run`] with an event sink. The core algorithms (MIN-MIN,
+    /// HEFT, MIN-MINBUDG, HEFTBUDG, HEFTBUDG+, HEFTBUDG+INV) emit their
+    /// full decision stream; the remaining competitors fall back to
+    /// untraced scheduling after the `PlanStarted` header. Either way the
+    /// schedule is identical to [`Self::run`]'s.
+    pub fn run_observed<S: EventSink>(
+        self,
+        wf: &Workflow,
+        platform: &Platform,
+        budget: f64,
+        sink: &mut S,
+    ) -> Schedule {
+        if S::ENABLED {
+            sink.record(&Obs::PlanStarted {
+                algorithm: self.name(),
+                tasks: u32::try_from(wf.task_count()).unwrap_or(u32::MAX),
+                budget,
+            });
+        }
+        let schedule = match self {
+            Algorithm::MinMin => min_min_observed(wf, platform, sink),
+            Algorithm::Heft => heft_observed(wf, platform, sink),
+            Algorithm::MinMinBudg => min_min_budg_observed(wf, platform, budget, sink),
+            Algorithm::HeftBudg => heft_budg_observed(wf, platform, budget, sink).0,
+            Algorithm::HeftBudgPlus => {
+                heft_budg_plus_observed(wf, platform, budget, RefineOrder::Forward, sink)
+            }
+            Algorithm::HeftBudgPlusInv => {
+                heft_budg_plus_observed(wf, platform, budget, RefineOrder::Reverse, sink)
+            }
+            other => other.run_unchecked(wf, platform, budget),
+        };
         #[cfg(debug_assertions)]
         {
             // Budget is deliberately not enforced here: every algorithm has

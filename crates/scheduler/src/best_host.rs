@@ -4,6 +4,7 @@
 //! the full selection for every ready task on every round.
 
 use crate::plan::{Candidate, HostEval, PlanState};
+use wfs_observe::{Event as Obs, EventSink};
 use wfs_simulator::VmId;
 use wfs_workflow::{OrdF64, TaskId};
 
@@ -124,6 +125,37 @@ pub fn get_best_host(plan: &PlanState<'_>, t: TaskId, limit: f64) -> HostEval {
     plan.with_candidate_evals(t, |evals| select_best(evals, limit))
 }
 
+/// [`get_best_host`] with an event sink: every candidate considered is
+/// reported as an [`Obs::CandidateEvaluated`] (with its EFT, cost and
+/// whether it fit the limit) before the selection is returned. With
+/// `NoopSink` this is exactly [`get_best_host`].
+pub fn get_best_host_observed<S: EventSink>(
+    plan: &PlanState<'_>,
+    t: TaskId,
+    limit: f64,
+    sink: &mut S,
+) -> HostEval {
+    plan.with_candidate_evals(t, |evals| {
+        if S::ENABLED {
+            for e in evals {
+                let (used, host) = match e.candidate {
+                    Candidate::Used(vm) => (true, vm.0),
+                    Candidate::New(cat) => (false, cat.0),
+                };
+                sink.record(&Obs::CandidateEvaluated {
+                    task: t.0,
+                    used,
+                    host,
+                    eft: e.eft,
+                    cost: e.cost,
+                    affordable: e.cost <= limit + COST_EPS,
+                });
+            }
+        }
+        select_best(evals, limit)
+    })
+}
+
 /// Full selection (with cache metadata) for `t`.
 pub(crate) fn select_for(plan: &PlanState<'_>, t: TaskId, limit: f64) -> Selection {
     plan.with_candidate_evals(t, |evals| select(evals, limit))
@@ -167,12 +199,22 @@ struct Entry {
 #[derive(Debug)]
 pub(crate) struct BestHostCache {
     entries: Vec<Option<Entry>>,
+    /// Selections answered from a cached entry (patch check succeeded).
+    hits: u64,
+    /// Selections that needed a full recomputing sweep.
+    misses: u64,
 }
 
 impl BestHostCache {
     /// Empty cache for a workflow of `n_tasks` tasks.
     pub(crate) fn new(n_tasks: usize) -> Self {
-        Self { entries: vec![None; n_tasks] }
+        Self { entries: vec![None; n_tasks], hits: 0, misses: 0 }
+    }
+
+    /// `(hits, misses)` accumulated so far — flushed as counter events by
+    /// the observed schedulers.
+    pub(crate) fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 
     /// Drop the entry of a task (call after committing it).
@@ -222,6 +264,7 @@ impl BestHostCache {
                         entry.sel.unconstrained_same =
                             entry.sel.unconstrained_same && key(&patched) >= key(best);
                         entry.limit = limit;
+                        self.hits += 1;
                         return entry.sel.best;
                     }
                 } else {
@@ -229,11 +272,13 @@ impl BestHostCache {
                         || fallback_key(&patched) <= fallback_key(best);
                     if !interferes {
                         entry.limit = limit;
+                        self.hits += 1;
                         return entry.sel.best;
                     }
                 }
             }
         }
+        self.misses += 1;
         let sel = select_for(plan, t, limit);
         self.entries[t.index()] = Some(Entry { sel, limit, vm_count });
         sel.best

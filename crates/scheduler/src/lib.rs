@@ -52,19 +52,26 @@ mod refine;
 
 pub use algorithms::{min_cost_schedule, Algorithm};
 pub use bdt::bdt;
-pub use best_host::get_best_host;
+pub use best_host::{get_best_host, get_best_host_observed};
 pub use budget::{
     datacenter_reservation, divide_budget, t_calc_task, t_calc_workflow, BudgetSplit, Pot,
 };
 pub use cg::{cg, cg_plus};
 pub use deadline::{min_budget_for_deadline, plan_bicriteria, Bicriteria};
 pub use ensemble::{schedule_ensemble, AdmittedWorkflow, EnsembleMember, EnsembleResult};
-pub use heft::{heft, heft_budg, heft_budg_carry, heft_budg_with_pot, priority_list};
+pub use heft::{
+    heft, heft_budg, heft_budg_carry, heft_budg_carry_observed, heft_budg_observed,
+    heft_budg_with_pot, heft_observed, priority_list,
+};
 pub use maxmin::{max_min, max_min_budg, sufferage, sufferage_budg};
-pub use minmin::{min_min, min_min_budg, min_min_budg_with_pot};
+pub use minmin::{min_min, min_min_budg, min_min_budg_observed, min_min_budg_with_pot, min_min_observed};
 pub use online::{run_online, OnlineConfig, OnlineOutcome};
 pub use plan::{Candidate, HostEval, PlanState};
 pub use recovery::{
-    run_with_recovery, EpochRecord, RecoveryConfig, RecoveryOutcome, RecoveryPolicy,
+    run_with_recovery, run_with_recovery_observed, EpochRecord, RecoveryConfig, RecoveryOutcome,
+    RecoveryPolicy,
 };
-pub use refine::{heft_budg_plus, min_min_budg_plus, refine_schedule, RefineOrder};
+pub use refine::{
+    heft_budg_plus, heft_budg_plus_observed, min_min_budg_plus, refine_schedule,
+    refine_schedule_observed, RefineOrder,
+};

@@ -8,19 +8,42 @@
 
 use crate::best_host::BestHostCache;
 use crate::budget::{divide_budget, Pot};
-use crate::plan::PlanState;
+use crate::plan::{Candidate, PlanState};
+use wfs_observe::{Event as Obs, EventSink, NoopSink};
 use wfs_platform::Platform;
 use wfs_simulator::{Schedule, VmId};
 use wfs_workflow::{OrdF64, TaskId, Workflow};
 
 /// Run MIN-MIN (unbounded budget) — the baseline of §V-B.
 pub fn min_min(wf: &Workflow, platform: &Platform) -> Schedule {
-    min_min_inner(wf, platform, None, Pot::new())
+    min_min_inner(wf, platform, None, Pot::new(), &mut NoopSink)
+}
+
+/// [`min_min`] with an event sink (no budget events: the baseline has no
+/// shares, so limits are infinite and the pot stays empty).
+pub fn min_min_observed<S: EventSink>(
+    wf: &Workflow,
+    platform: &Platform,
+    sink: &mut S,
+) -> Schedule {
+    min_min_inner(wf, platform, None, Pot::new(), sink)
 }
 
 /// Run MIN-MINBUDG with initial budget `b_ini` (Algorithm 3).
 pub fn min_min_budg(wf: &Workflow, platform: &Platform, b_ini: f64) -> Schedule {
     min_min_budg_with_pot(wf, platform, b_ini, Pot::new())
+}
+
+/// [`min_min_budg`] with an event sink: the budget division, each round's
+/// winning placement (with pot before/after) and the selection-cache
+/// hit/miss counters are reported to `sink`.
+pub fn min_min_budg_observed<S: EventSink>(
+    wf: &Workflow,
+    platform: &Platform,
+    b_ini: f64,
+    sink: &mut S,
+) -> Schedule {
+    min_min_inner(wf, platform, Some(b_ini), Pot::new(), sink)
 }
 
 /// MIN-MINBUDG with an explicit pot configuration (ablation hook).
@@ -30,11 +53,27 @@ pub fn min_min_budg_with_pot(
     b_ini: f64,
     pot: Pot,
 ) -> Schedule {
-    min_min_inner(wf, platform, Some(b_ini), pot)
+    min_min_inner(wf, platform, Some(b_ini), pot, &mut NoopSink)
 }
 
-fn min_min_inner(wf: &Workflow, platform: &Platform, b_ini: Option<f64>, mut pot: Pot) -> Schedule {
+fn min_min_inner<S: EventSink>(
+    wf: &Workflow,
+    platform: &Platform,
+    b_ini: Option<f64>,
+    mut pot: Pot,
+    sink: &mut S,
+) -> Schedule {
     let split = b_ini.map(|b| divide_budget(wf, platform, b));
+    if S::ENABLED {
+        if let Some(s) = &split {
+            sink.record(&Obs::BudgetReserved {
+                initial: s.initial,
+                reserved_datacenter: s.reserved_datacenter,
+                reserved_init: s.reserved_init,
+                b_calc: s.b_calc,
+            });
+        }
+    }
     let mut plan = PlanState::new(wf, platform);
 
     // Ready set maintained with remaining-predecessor counts.
@@ -46,6 +85,7 @@ fn min_min_inner(wf: &Workflow, platform: &Platform, b_ini: Option<f64>, mut pot
     // can prove otherwise (see `BestHostCache`).
     let mut cache = BestHostCache::new(wf.task_count());
     let mut last_commit: Option<VmId> = None;
+    let mut round: u32 = 0;
 
     while !ready.is_empty() {
         // MIN-MIN selection: the ready task whose best host yields the
@@ -68,17 +108,50 @@ fn min_min_inner(wf: &Workflow, platform: &Platform, b_ini: Option<f64>, mut pot
         #[allow(clippy::expect_used)] // loop guard: `ready` is non-empty
         let (idx, eval) = best.expect("ready set is non-empty");
         let t = ready.swap_remove(idx);
-        last_commit = Some(plan.commit(t, eval.candidate));
+        let limit = match &split {
+            Some(s) => s.share(t) + pot.available(),
+            None => f64::INFINITY,
+        };
+        if S::ENABLED {
+            sink.record(&Obs::TaskRanked { pos: round, task: t.0 });
+            if let Some(s) = &split {
+                sink.record(&Obs::TaskShare { task: t.0, share: s.share(t) });
+            }
+        }
+        let pot_before = pot.available();
+        let vm = plan.commit(t, eval.candidate);
+        last_commit = Some(vm);
         cache.forget(t);
         if let Some(s) = &split {
             pot.settle(s.share(t), eval.cost);
         }
+        if S::ENABLED {
+            sink.record(&Obs::TaskPlaced {
+                task: t.0,
+                vm: vm.0,
+                new_vm: matches!(eval.candidate, Candidate::New(_)),
+                eft: eval.eft,
+                cost: eval.cost,
+                limit,
+                pot_before,
+                pot_after: pot.available(),
+            });
+        }
+        round += 1;
         for succ in wf.successors(t) {
             missing[succ.index()] -= 1;
             if missing[succ.index()] == 0 {
                 ready.push(succ);
             }
         }
+    }
+    if S::ENABLED {
+        let (hits, misses) = cache.hit_miss();
+        sink.record(&Obs::Counter { name: "best_host_cache_hits", delta: hits });
+        sink.record(&Obs::Counter { name: "best_host_cache_misses", delta: misses });
+        let (sweeps, cand_evals) = plan.sweep_stats();
+        sink.record(&Obs::Counter { name: "plan_sweeps", delta: sweeps });
+        sink.record(&Obs::Counter { name: "plan_candidate_evals", delta: cand_evals });
     }
     debug_assert!(plan.is_complete(), "all tasks scheduled (DAG is acyclic)");
     plan.into_schedule()

@@ -75,6 +75,10 @@ struct Scratch {
     cat_occupied: Vec<f64>,
     /// Per-category `cost_per_second()`.
     cat_rate: Vec<f64>,
+    /// Total sweeps performed since creation (fast or naive path).
+    sweeps: u64,
+    /// Total candidate evaluations produced across those sweeps.
+    cand_evals: u64,
 }
 
 /// Incremental planning state over a partially built schedule.
@@ -312,6 +316,8 @@ impl<'a> PlanState<'a> {
             for cat in self.platform.category_ids() {
                 scratch.evals.push(self.evaluate(t, Candidate::New(cat)));
             }
+            scratch.sweeps += 1;
+            scratch.cand_evals += u64::try_from(scratch.evals.len()).unwrap_or(u64::MAX);
             return f(&scratch.evals);
         }
 
@@ -418,6 +424,8 @@ impl<'a> PlanState<'a> {
                 .evals
                 .push(self.eval_new_with(t, cat, total_bytes, dready_all));
         }
+        scratch.sweeps += 1;
+        scratch.cand_evals += u64::try_from(scratch.evals.len()).unwrap_or(u64::MAX);
         f(&scratch.evals)
     }
 
@@ -443,6 +451,14 @@ impl<'a> PlanState<'a> {
             self.edge_at_dc[e.index()] = eval.eft + self.wf.edge(e).size / bw;
         }
         vm
+    }
+
+    /// Work counters of the candidate sweep: `(sweeps, evaluations)`
+    /// accumulated since this state was created. Cache-served selections
+    /// (see `BestHostCache`) perform no sweep and are not counted here.
+    pub fn sweep_stats(&self) -> (u64, u64) {
+        let s = self.scratch.borrow();
+        (s.sweeps, s.cand_evals)
     }
 
     /// Planned makespan so far: the largest committed EFT.

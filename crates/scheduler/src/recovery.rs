@@ -25,12 +25,13 @@
 
 use crate::algorithms::{min_cost_schedule, Algorithm};
 use crate::budget::{datacenter_reservation, Pot};
-use crate::heft::heft_budg_carry;
+use crate::heft::heft_budg_carry_observed;
 use serde::{Deserialize, Serialize};
+use wfs_observe::{Event as Obs, EventSink, NoopSink};
 use wfs_platform::{CategoryId, Platform};
 use wfs_simulator::{
-    plan_lint_faulted, simulate_with_faults, stream_seed, FaultConfig, FaultStats, Schedule,
-    SimConfig, SimError, VmId, WeightModel,
+    plan_lint_faulted, simulate_with_faults_observed, stream_seed, FaultConfig, FaultStats,
+    Schedule, SimConfig, SimError, VmId, WeightModel,
 };
 use wfs_workflow::{TaskId, Workflow, WorkflowBuilder};
 
@@ -333,6 +334,21 @@ pub fn run_with_recovery(
     platform: &Platform,
     cfg: &RecoveryConfig,
 ) -> Result<RecoveryOutcome, SimError> {
+    run_with_recovery_observed(wf, platform, cfg, &mut NoopSink)
+}
+
+/// [`run_with_recovery`] with an event sink: each epoch is announced with
+/// [`Event::EpochStarted`](wfs_observe::Event::EpochStarted) (carrying the
+/// wall-clock offset of the epoch's run), planning decisions and simulator
+/// execution stream through, and an
+/// [`Event::RecoveryEpoch`](wfs_observe::Event::RecoveryEpoch) summary
+/// closes each epoch.
+pub fn run_with_recovery_observed<S: EventSink>(
+    wf: &Workflow,
+    platform: &Platform,
+    cfg: &RecoveryConfig,
+    sink: &mut S,
+) -> Result<RecoveryOutcome, SimError> {
     assert!(cfg.budget >= 0.0 && cfg.budget.is_finite(), "budget must be non-negative and finite");
     assert!(cfg.max_epochs >= 1, "at least one epoch is needed");
     let n = wf.task_count();
@@ -361,9 +377,15 @@ pub fn run_with_recovery(
         };
         let sub_ref: &Workflow = sub.as_ref().unwrap_or(wf);
 
+        if S::ENABLED {
+            sink.record(&Obs::EpochStarted {
+                epoch: u32::try_from(epoch).unwrap_or(u32::MAX),
+                t_offset: wall_clock,
+            });
+        }
         let mut degraded_this = false;
         let schedule = if epoch == 0 {
-            cfg.algorithm.run(sub_ref, platform, cfg.budget)
+            cfg.algorithm.run_observed(sub_ref, platform, cfg.budget, sink)
         } else {
             match cfg.policy {
                 // FailStop never reaches a second epoch (breaks below).
@@ -375,7 +397,8 @@ pub fn run_with_recovery(
                         degraded_to_cheapest = true;
                         min_cost_schedule(sub_ref, platform)
                     } else {
-                        let (s, carried) = heft_budg_carry(sub_ref, platform, remaining, pot);
+                        let (s, carried) =
+                            heft_budg_carry_observed(sub_ref, platform, remaining, pot, sink);
                         pot = carried;
                         s
                     }
@@ -393,7 +416,8 @@ pub fn run_with_recovery(
 
         let faults = epoch_faults(cfg.faults, epoch);
         let sim_cfg = SimConfig::new(epoch_weights(cfg.weights, epoch));
-        let run = simulate_with_faults(sub_ref, platform, &schedule, &sim_cfg, &faults)?;
+        let run =
+            simulate_with_faults_observed(sub_ref, platform, &schedule, &sim_cfg, &faults, sink)?;
 
         if cfg.lint {
             let clause = budget_clause(cfg, epoch, if epoch == 0 { cfg.budget } else { remaining }, degraded_this);
@@ -412,6 +436,16 @@ pub fn run_with_recovery(
                 durable_all[orig.index()] = true;
                 newly_durable += 1;
             }
+        }
+        if S::ENABLED {
+            sink.record(&Obs::RecoveryEpoch {
+                epoch: u32::try_from(epoch).unwrap_or(u32::MAX),
+                scheduled: u32::try_from(map.len()).unwrap_or(u32::MAX),
+                newly_durable: u32::try_from(newly_durable).unwrap_or(u32::MAX),
+                cost: run.report.total_cost,
+                budget_before: remaining,
+                makespan: run.report.makespan,
+            });
         }
         epochs.push(EpochRecord {
             epoch,

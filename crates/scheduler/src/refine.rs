@@ -9,7 +9,8 @@
 //! kept. This is an order of magnitude more CPU-demanding than HEFTBUDG
 //! (§IV-B) — the trade-off the paper quantifies in Table III.
 
-use crate::heft::heft_budg;
+use crate::heft::{heft_budg, heft_budg_observed};
+use wfs_observe::{Event as Obs, EventSink, NoopSink};
 use wfs_platform::Platform;
 use wfs_simulator::{simulate, Schedule, SimConfig};
 use wfs_workflow::{TaskId, Workflow};
@@ -35,6 +36,20 @@ pub fn heft_budg_plus(
 ) -> Schedule {
     let (sched, list) = heft_budg(wf, platform, b_ini);
     refine_schedule(wf, platform, b_ini, sched, &list, order)
+}
+
+/// [`heft_budg_plus`] with an event sink: the HEFTBUDG planning events plus
+/// one [`Event::RefineMove`](wfs_observe::Event::RefineMove) per accepted
+/// re-mapping and trial/acceptance counters.
+pub fn heft_budg_plus_observed<S: EventSink>(
+    wf: &Workflow,
+    platform: &Platform,
+    b_ini: f64,
+    order: RefineOrder,
+    sink: &mut S,
+) -> Schedule {
+    let (sched, list) = heft_budg_observed(wf, platform, b_ini, sink);
+    refine_schedule_observed(wf, platform, b_ini, sched, &list, order, sink)
 }
 
 /// MIN-MINBUDG followed by the same refinement pass — the variant the
@@ -67,9 +82,23 @@ pub fn refine_schedule(
     wf: &Workflow,
     platform: &Platform,
     b_ini: f64,
+    sched: Schedule,
+    list: &[TaskId],
+    order: RefineOrder,
+) -> Schedule {
+    refine_schedule_observed(wf, platform, b_ini, sched, list, order, &mut NoopSink)
+}
+
+/// [`refine_schedule`] with an event sink.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_schedule_observed<S: EventSink>(
+    wf: &Workflow,
+    platform: &Platform,
+    b_ini: f64,
     mut sched: Schedule,
     list: &[TaskId],
     order: RefineOrder,
+    sink: &mut S,
 ) -> Schedule {
     let cfg = SimConfig::planning();
     // Rank position of each task: per-VM orders stay sorted by it, so any
@@ -88,6 +117,8 @@ pub fn refine_schedule(
         RefineOrder::Forward => list.to_vec(),
         RefineOrder::Reverse => list.iter().rev().copied().collect(),
     };
+    let mut trials: u64 = 0;
+    let mut accepted: u64 = 0;
     for &t in &tasks {
         #[allow(clippy::expect_used)] // HEFTBUDG assigns every task
         let cur_vm = sched.assignment(t).expect("complete schedule");
@@ -98,6 +129,7 @@ pub fn refine_schedule(
             let mut trial = sched.clone();
             trial.reassign(t, vm);
             trial.sort_orders_by(|x| pos[x.index()]);
+            trials += 1;
             consider(wf, platform, b_ini, &cfg, trial, best_time, &mut best_alt);
         }
         // ...and a fresh VM of each category.
@@ -106,12 +138,25 @@ pub fn refine_schedule(
             let vm = trial.add_vm(cat);
             trial.reassign(t, vm);
             trial.sort_orders_by(|x| pos[x.index()]);
+            trials += 1;
             consider(wf, platform, b_ini, &cfg, trial, best_time, &mut best_alt);
         }
         if let Some((s, time)) = best_alt {
+            if S::ENABLED {
+                sink.record(&Obs::RefineMove {
+                    task: t.0,
+                    makespan_before: best_time,
+                    makespan_after: time,
+                });
+            }
+            accepted += 1;
             sched = s;
             best_time = time;
         }
+    }
+    if S::ENABLED {
+        sink.record(&Obs::Counter { name: "refine_trials", delta: trials });
+        sink.record(&Obs::Counter { name: "refine_accepted", delta: accepted });
     }
     sched.prune_empty_vms();
     sched

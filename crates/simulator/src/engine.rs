@@ -32,8 +32,15 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use wfs_observe::{Event as Obs, EventSink, NoopSink};
 use wfs_platform::Platform;
 use wfs_workflow::{EdgeId, TaskId, Workflow};
+
+/// Widen a dense VM index into the `u32` observability id space.
+#[inline]
+fn vm_u32(v: usize) -> u32 {
+    v as u32
+}
 
 /// Time comparison tolerance (seconds).
 const T_EPS: f64 = 1e-9;
@@ -197,7 +204,8 @@ struct VmState {
     dead: bool,
 }
 
-struct Engine<'a> {
+struct Engine<'a, S: EventSink> {
+    sink: &'a mut S,
     wf: &'a Workflow,
     platform: &'a Platform,
     schedule: &'a Schedule,
@@ -229,13 +237,14 @@ struct Engine<'a> {
     stats: FaultStats,
 }
 
-impl<'a> Engine<'a> {
+impl<'a, S: EventSink> Engine<'a, S> {
     fn new(
         wf: &'a Workflow,
         platform: &'a Platform,
         schedule: &'a Schedule,
         config: &SimConfig,
         faults: &FaultConfig,
+        sink: &'a mut S,
     ) -> Self {
         let n = wf.task_count();
         let weights = realize_weights(wf, config.weights);
@@ -318,6 +327,7 @@ impl<'a> Engine<'a> {
 
         let n_vms = vms.len();
         Self {
+            sink,
             wf,
             platform,
             schedule,
@@ -381,6 +391,10 @@ impl<'a> Engine<'a> {
     fn book_vm(&mut self, v: usize) {
         debug_assert!(self.vms[v].booked_at.is_none());
         self.vms[v].booked_at = Some(self.now);
+        if S::ENABLED {
+            let cat = self.schedule.vm_category(VmId(vm_u32(v)));
+            self.sink.record(&Obs::VmBooked { vm: vm_u32(v), category: cat.0, t: self.now });
+        }
         let boot = self.platform.category(self.schedule.vm_category(VmId(v as u32))).boot_time;
         let mut delay = boot;
         if let Some(bf) = self.faults.boot {
@@ -395,6 +409,9 @@ impl<'a> Engine<'a> {
                     self.stats.boot_retries += bf.max_retries as usize;
                     self.stats.boot_abandoned += 1;
                     self.vms[v].dead = true;
+                    if S::ENABLED {
+                        self.sink.record(&Obs::BootAbandoned { vm: vm_u32(v), t: self.now });
+                    }
                     return;
                 }
                 delay += boot * bf.backoff.powf(f64::from(failures));
@@ -428,6 +445,16 @@ impl<'a> Engine<'a> {
         if let Some(i) = best {
             self.vms[v].downloads[i].started = true;
             self.vms[v].in_busy = true;
+            if S::ENABLED {
+                let d = self.vms[v].downloads[i];
+                self.sink.record(&Obs::TransferStarted {
+                    vm: vm_u32(v),
+                    up: false,
+                    edge: d.edge.map_or(-1, |e| i64::from(e.0)),
+                    bytes: d.bytes,
+                    t: self.now,
+                });
+            }
             let bytes = self.vms[v].downloads[i].bytes.max(B_EPS);
             self.active.push(Active {
                 vm: v,
@@ -447,6 +474,15 @@ impl<'a> Engine<'a> {
         }
         if let Some(u) = self.vms[v].uploads.pop_front() {
             self.vms[v].out_busy = true;
+            if S::ENABLED {
+                self.sink.record(&Obs::TransferStarted {
+                    vm: vm_u32(v),
+                    up: true,
+                    edge: u.edge.map_or(-1, |e| i64::from(e.0)),
+                    bytes: u.bytes,
+                    t: self.now,
+                });
+            }
             self.active.push(Active {
                 vm: v,
                 dir: Dir::Up,
@@ -478,10 +514,16 @@ impl<'a> Engine<'a> {
             realized_weight: self.weights[t.index()],
         };
         self.vms[v].proc_busy = true;
+        if S::ENABLED {
+            self.sink.record(&Obs::TaskStarted { task: t.0, vm: vm_u32(v), t: self.now });
+        }
         self.push_event(self.now + dur, Event::TaskDone { vm: v, task: t });
     }
 
     fn on_task_done(&mut self, v: usize, t: TaskId) {
+        if S::ENABLED {
+            self.sink.record(&Obs::TaskFinished { task: t.0, vm: vm_u32(v), t: self.now });
+        }
         self.done[t.index()] = true;
         self.completed += 1;
         self.vms[v].proc_busy = false;
@@ -513,6 +555,9 @@ impl<'a> Engine<'a> {
         self.vms[v].ready = true;
         self.vms[v].ready_at = self.now;
         self.vms[v].last_activity = self.now;
+        if S::ENABLED {
+            self.sink.record(&Obs::VmReady { vm: vm_u32(v), t: self.now });
+        }
         // Crash-stop fault: the VM's time-to-failure starts ticking the
         // moment it becomes operational.
         if let Some(cm) = self.faults.crash {
@@ -564,8 +609,21 @@ impl<'a> Engine<'a> {
             r.end = 0.0;
             r.realized_weight = 0.0;
             self.vms[v].proc_busy = false;
+            if S::ENABLED {
+                self.sink.record(&Obs::TaskAborted { task: t.0, vm: vm_u32(v), t: self.now });
+            }
         }
         // In-flight transfers on this VM's link die with it.
+        if S::ENABLED {
+            for a in self.active.iter().filter(|a| a.vm == v) {
+                self.sink.record(&Obs::TransferAborted {
+                    vm: vm_u32(v),
+                    up: matches!(a.dir, Dir::Up),
+                    t: self.now,
+                });
+            }
+            self.sink.record(&Obs::VmCrashed { vm: vm_u32(v), t: self.now });
+        }
         let before = self.active.len();
         self.active.retain(|a| a.vm != v);
         if self.active.len() != before {
@@ -590,6 +648,9 @@ impl<'a> Engine<'a> {
         self.bw_factor = dm.factor;
         self.window_start = self.now;
         self.stats.degradation_windows += 1;
+        if S::ENABLED {
+            self.sink.record(&Obs::DegradationStarted { t: self.now, factor: dm.factor });
+        }
         self.recompute_rates();
         let dur = sample_exponential(dm.mean_duration, &mut self.degrade_rng);
         self.push_event(self.now + dur, Event::DegradeEnd);
@@ -598,6 +659,9 @@ impl<'a> Engine<'a> {
     fn on_degrade_end(&mut self) {
         let Some(dm) = self.faults.degradation else { return };
         self.stats.degraded_seconds += self.now - self.window_start;
+        if S::ENABLED {
+            self.sink.record(&Obs::DegradationEnded { t: self.now });
+        }
         self.bw_factor = 1.0;
         self.recompute_rates();
         if self.work_remains() {
@@ -608,6 +672,14 @@ impl<'a> Engine<'a> {
 
     fn on_download_done(&mut self, v: usize, idx: usize) {
         let d = self.vms[v].downloads[idx];
+        if S::ENABLED {
+            self.sink.record(&Obs::TransferFinished {
+                vm: vm_u32(v),
+                up: false,
+                edge: d.edge.map_or(-1, |e| i64::from(e.0)),
+                t: self.now,
+            });
+        }
         self.vms[v].in_busy = false;
         self.vms[v].last_activity = self.now;
         self.missing[d.task.index()] -= 1;
@@ -616,6 +688,14 @@ impl<'a> Engine<'a> {
     }
 
     fn on_upload_done(&mut self, v: usize, u: Upload) {
+        if S::ENABLED {
+            self.sink.record(&Obs::TransferFinished {
+                vm: vm_u32(v),
+                up: true,
+                edge: u.edge.map_or(-1, |e| i64::from(e.0)),
+                t: self.now,
+            });
+        }
         self.vms[v].out_busy = false;
         self.vms[v].last_activity = self.now;
         if let Some(e) = u.edge {
@@ -747,8 +827,27 @@ impl<'a> Engine<'a> {
             return Err(SimError::Stalled { completed: self.completed, unfinished });
         }
         let (durable, complete) = self.durability();
+        let report = self.build_report();
+        // Bill emission mirrors the report arithmetic exactly: one VmBilled
+        // per VM in report order, then DcBilled — a ledger folding costs in
+        // event order reproduces `total_cost` bit-for-bit.
+        if S::ENABLED {
+            for u in &report.vms {
+                self.sink.record(&Obs::VmBilled {
+                    vm: u.vm.0,
+                    category: u.category.0,
+                    booked_at: u.booked_at,
+                    ready_at: u.ready_at,
+                    released_at: u.released_at,
+                    cost: u.cost,
+                    tasks_run: u32::try_from(u.tasks_run).unwrap_or(u32::MAX),
+                });
+            }
+            self.sink
+                .record(&Obs::DcBilled { cost: report.datacenter_cost, makespan: report.makespan });
+        }
         Ok(FaultRun {
-            report: self.build_report(),
+            report,
             stats: self.stats.clone(),
             finished: self.done.clone(),
             durable,
@@ -835,8 +934,24 @@ pub fn simulate(
     schedule: &Schedule,
     config: &SimConfig,
 ) -> Result<SimulationReport, SimError> {
+    let mut sink = NoopSink;
+    simulate_observed(wf, platform, schedule, config, &mut sink)
+}
+
+/// [`simulate`] with an event sink: every boot, task, transfer and the
+/// final Eq. 1–2 bill are reported to `sink`. With [`NoopSink`] this is
+/// the same code path as [`simulate`] (the emissions compile away).
+pub fn simulate_observed<S: EventSink>(
+    wf: &Workflow,
+    platform: &Platform,
+    schedule: &Schedule,
+    config: &SimConfig,
+    sink: &mut S,
+) -> Result<SimulationReport, SimError> {
     schedule.validate(wf)?;
-    Engine::new(wf, platform, schedule, config, &FaultConfig::none()).run().map(|r| r.report)
+    Engine::new(wf, platform, schedule, config, &FaultConfig::none(), sink)
+        .run()
+        .map(|r| r.report)
 }
 
 /// Validate `schedule` and simulate with fault injection. With faults the
@@ -850,6 +965,21 @@ pub fn simulate_with_faults(
     config: &SimConfig,
     faults: &FaultConfig,
 ) -> Result<FaultRun, SimError> {
+    let mut sink = NoopSink;
+    simulate_with_faults_observed(wf, platform, schedule, config, faults, &mut sink)
+}
+
+/// [`simulate_with_faults`] with an event sink; fault injections (crashes,
+/// abandoned boots, degradation windows) and the work they abort are
+/// reported alongside the regular execution events.
+pub fn simulate_with_faults_observed<S: EventSink>(
+    wf: &Workflow,
+    platform: &Platform,
+    schedule: &Schedule,
+    config: &SimConfig,
+    faults: &FaultConfig,
+    sink: &mut S,
+) -> Result<FaultRun, SimError> {
     schedule.validate(wf)?;
-    Engine::new(wf, platform, schedule, config, faults).run()
+    Engine::new(wf, platform, schedule, config, faults, sink).run()
 }

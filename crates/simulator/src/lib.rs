@@ -35,7 +35,9 @@ pub mod svg;
 mod weights;
 
 pub use config::{DcCapacity, SimConfig};
-pub use engine::{simulate, simulate_with_faults, SimError};
+pub use engine::{
+    simulate, simulate_observed, simulate_with_faults, simulate_with_faults_observed, SimError,
+};
 pub use faults::{
     stream_seed, BootFaultModel, CrashModel, DegradationModel, FaultConfig, FaultRun, FaultStats,
 };

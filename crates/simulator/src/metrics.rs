@@ -52,15 +52,18 @@ pub fn metrics(report: &SimulationReport) -> ExecutionMetrics {
         peak = peak.max(depth);
         last_t = t;
     }
-    let makespan = report.makespan.max(1e-12);
+    // Degenerate inputs (an empty report, VMs with zero charged time, a
+    // zero-span run) must yield finite zeros, never NaN or ±inf.
+    let makespan = report.makespan;
+    let per_makespan = |x: f64| if makespan > 0.0 { x / makespan } else { 0.0 };
 
     ExecutionMetrics {
         utilization: if total_charged > 0.0 { total_compute / total_charged } else { 0.0 },
         total_compute_time: total_compute,
         total_charged_time: total_charged,
-        mean_parallelism: area / makespan,
+        mean_parallelism: per_makespan(area),
         peak_parallelism: peak.max(0) as usize,
-        speedup: total_compute / makespan,
+        speedup: per_makespan(total_compute),
     }
 }
 
@@ -163,6 +166,60 @@ mod tests {
         assert!((m.total_compute_time - direct).abs() < 1e-9);
         assert!(m.total_charged_time >= m.total_compute_time - 1e-9);
         assert!(m.utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_report_yields_finite_zeros() {
+        let r = SimulationReport {
+            makespan: 0.0,
+            vm_cost: 0.0,
+            datacenter_cost: 0.0,
+            total_cost: 0.0,
+            vms_used: 0,
+            tasks: Vec::new(),
+            vms: Vec::new(),
+        };
+        let m = metrics(&r);
+        assert_eq!(m.utilization, 0.0);
+        assert_eq!(m.total_compute_time, 0.0);
+        assert_eq!(m.total_charged_time, 0.0);
+        assert_eq!(m.mean_parallelism, 0.0);
+        assert_eq!(m.peak_parallelism, 0);
+        assert_eq!(m.speedup, 0.0);
+        let fm = fault_metrics(&r, &FaultStats::default());
+        assert_eq!(fm.wasted_billed_fraction, 0.0);
+        assert_eq!(fm.lost_compute_fraction, 0.0);
+    }
+
+    #[test]
+    fn zero_charged_time_vm_yields_finite_metrics() {
+        // A VM released the instant it became ready (e.g. an abandoned
+        // boot) contributes zero charged seconds; nothing may divide by it.
+        let r = SimulationReport {
+            makespan: 0.0,
+            vm_cost: 0.0,
+            datacenter_cost: 0.0,
+            total_cost: 0.0,
+            vms_used: 1,
+            tasks: Vec::new(),
+            vms: vec![crate::report::VmUsage {
+                vm: crate::VmId(0),
+                category: CategoryId(0),
+                booked_at: 0.0,
+                ready_at: 10.0,
+                released_at: 10.0,
+                cost: 0.0,
+                tasks_run: 0,
+            }],
+        };
+        let m = metrics(&r);
+        assert!(m.utilization.is_finite());
+        assert_eq!(m.utilization, 0.0);
+        assert_eq!(m.mean_parallelism, 0.0);
+        assert!(m.speedup.is_finite());
+        let fm = fault_metrics(&r, &FaultStats::default());
+        assert!(fm.wasted_billed_fraction.is_finite());
+        assert!(fm.lost_compute_fraction.is_finite());
     }
 
     #[test]

@@ -32,9 +32,24 @@ for wf in montage30 ligo30; do
   done
 done
 
-echo "== quickbench smoke (1 iteration)"
-cargo run --release -p wfs-bench --bin quickbench -- 1 >/dev/null
-test -s BENCH_sched_time.json
-echo "BENCH_sched_time.json written"
+echo "== trace round-trip smoke (wfs trace + faults --trace/--ledger)"
+"$WFS" trace "$FAULTS_TMP/montage30.json" --budget 2.0 --seed 3 --ledger --counters \
+  -o "$FAULTS_TMP/montage30.trace.json" | grep -q "reconciles  yes (exact)"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$FAULTS_TMP/montage30.trace.json" \
+  2>/dev/null || test -s "$FAULTS_TMP/montage30.trace.json"
+"$WFS" faults "$FAULTS_TMP/ligo30.json" --budget 3.0 --mtbf 600 --boot-fail 0.1 \
+  --seed 7 --trace "$FAULTS_TMP/ligo30.trace.json" --ledger | grep -q "reconciles  yes (exact)"
+test -s "$FAULTS_TMP/ligo30.trace.json"
+echo "  trace exports written, ledgers reconcile exactly"
+
+echo "== quickbench smoke + zero-overhead gate (1 iteration vs pinned medians)"
+# Writes to a temp file (the pin is regenerated only by deliberate 9-iteration
+# runs) and gates the fast-path medians against BENCH_sched_time.json: the
+# median ratio across all cells must stay within 1.5x — a NoopSink that
+# stopped compiling away would shift every cell, which the gate catches even
+# at 1 iteration.
+cargo run --release -p wfs-bench --bin quickbench -- 1 \
+  --out "$FAULTS_TMP/bench-smoke.json" --gate BENCH_sched_time.json 2>&1 | tail -n 5
+test -s "$FAULTS_TMP/bench-smoke.json"
 
 echo "CI OK"

@@ -12,6 +12,9 @@
 //! wfs faults <workflow.json> --budget <dollars> [--alg NAME] [--policy failstop|retry|reschedule]
 //!            [--mtbf SECS] [--shape K] [--boot-fail P] [--degrade F:GAP:DUR]
 //!            [--seed N] [--stochastic N] [--max-epochs N] [--platform FILE] [--lint]
+//!            [--trace FILE] [--ledger]
+//! wfs trace <workflow.json> --budget <dollars> [--alg NAME] [--seed N | --conservative | --mean]
+//!           [--platform FILE] [-o FILE] [--ledger] [--counters]
 //! wfs platform [-o FILE]
 //! ```
 //!
@@ -45,6 +48,9 @@ const USAGE: &str = "usage:
   wfs faults <workflow.json> --budget <dollars> [--alg NAME] [--policy failstop|retry|reschedule]
              [--mtbf SECS] [--shape K] [--boot-fail P] [--degrade F:GAP:DUR]
              [--seed N] [--stochastic N] [--max-epochs N] [--platform FILE] [--lint]
+             [--trace FILE] [--ledger]
+  wfs trace <workflow.json> --budget <dollars> [--alg NAME] [--seed N | --conservative | --mean]
+            [--platform FILE] [-o FILE] [--ledger] [--counters]
   wfs deadline <workflow.json> --deadline <secs> [--platform FILE]
   wfs platform [-o FILE]
 
@@ -117,6 +123,7 @@ fn run(args: &[String]) -> CliResult {
         "simulate" => cmd_simulate(rest),
         "sweep" => cmd_sweep(rest),
         "faults" => cmd_faults(rest),
+        "trace" => cmd_trace(rest),
         "deadline" => cmd_deadline(rest),
         "platform" => emit(opt(rest, "-o"), &pretty(&Platform::paper_default())?),
         other => Err(format!("unknown command `{other}`")),
@@ -241,6 +248,77 @@ fn cmd_deadline(args: &[String]) -> CliResult {
     }
 }
 
+/// `wfs trace <workflow.json> --budget B [--alg NAME] [...]`: plan and
+/// simulate once with a recording sink, export the execution as a
+/// Chrome-trace-event JSON (loadable in Perfetto / `chrome://tracing`) and
+/// print a text summary; `--ledger` audits the budget ledger against the
+/// simulator's bill and `--counters` prints the hot-path counter table.
+fn cmd_trace(args: &[String]) -> CliResult {
+    let wf_path = args.first().ok_or("trace: missing workflow file")?;
+    let wf = load_workflow(wf_path)?;
+    let budget: f64 = parse(opt(args, "--budget").ok_or("trace: missing --budget")?, "budget")?;
+    if !budget.is_finite() || budget < 0.0 {
+        return Err(format!("budget must be a finite non-negative amount, got {budget}"));
+    }
+    let alg: Algorithm =
+        opt(args, "--alg").map_or(Ok(Algorithm::HeftBudg), |s| parse(s, "algorithm"))?;
+    let platform = load_platform(args)?;
+    let cfg = if has_flag(args, "--conservative") {
+        SimConfig::planning()
+    } else if has_flag(args, "--mean") {
+        SimConfig::new(WeightModel::Mean)
+    } else {
+        let seed: u64 = opt(args, "--seed").map_or(Ok(0), |s| parse(s, "seed"))?;
+        SimConfig::stochastic(seed)
+    };
+
+    let mut rec = RecordingSink::new();
+    let sched = alg.run_observed(&wf, &platform, budget, &mut rec);
+    let report = simulate_observed(&wf, &platform, &sched, &cfg, &mut rec)
+        .map_err(|e| e.to_string())?;
+
+    let trace = ChromeTrace::from_events(&rec.events);
+    let out_path = match opt(args, "-o") {
+        Some(p) => p.to_string(),
+        None => default_trace_path(wf_path),
+    };
+    std::fs::write(&out_path, trace.to_json())
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    eprintln!("wrote {out_path}");
+
+    println!("algorithm  {alg}");
+    println!("events     {}", rec.events.len());
+    println!("spans      {} ({} instants)", trace.span_count(), trace.instant_count());
+    println!("makespan   {:.1} s", report.makespan);
+    println!("total cost ${:.4} (budget ${budget:.4})", report.total_cost);
+    if has_flag(args, "--ledger") {
+        let ledger = BudgetLedger::from_events(&rec.events);
+        println!();
+        print!("{}", ledger.summary());
+        println!(
+            "reconciles  {}",
+            if ledger.reconcile(report.total_cost) { "yes (exact)" } else { "NO" }
+        );
+    }
+    if has_flag(args, "--counters") {
+        let counters = Counters::from_events(&rec.events);
+        println!();
+        print!("{}", counters.table());
+    }
+    Ok(())
+}
+
+/// Default output path of `wfs trace`: the workflow file with its
+/// extension replaced by `.trace.json`.
+fn default_trace_path(input: &str) -> String {
+    let stem = input
+        .strip_suffix(".json")
+        .or_else(|| input.strip_suffix(".dax"))
+        .or_else(|| input.strip_suffix(".xml"))
+        .unwrap_or(input);
+    format!("{stem}.trace.json")
+}
+
 /// `wfs faults <workflow.json> --budget B [--policy P] [...]`: run the
 /// workflow to durable completion under seeded fault injection, recovering
 /// per the chosen policy, and print the per-epoch breakdown.
@@ -291,7 +369,15 @@ fn cmd_faults(args: &[String]) -> CliResult {
         cfg = cfg.with_lint();
     }
 
-    let out = run_with_recovery(&wf, &platform, &cfg).map_err(|e| e.to_string())?;
+    let trace_path = opt(args, "--trace");
+    let want_ledger = has_flag(args, "--ledger");
+    let mut rec = RecordingSink::new();
+    let out = if trace_path.is_some() || want_ledger {
+        run_with_recovery_observed(&wf, &platform, &cfg, &mut rec)
+    } else {
+        run_with_recovery(&wf, &platform, &cfg)
+    }
+    .map_err(|e| e.to_string())?;
     println!("{:<6} {:>6} {:>8} {:>10} {:>10} {:>8} {:>6} {:>6}",
         "epoch", "tasks", "durable", "cost $", "budget $", "span s", "crash", "retry");
     for e in &out.epochs {
@@ -314,6 +400,20 @@ fn cmd_faults(args: &[String]) -> CliResult {
         out.stats.wasted_compute_seconds, out.stats.wasted_billed_seconds);
     if out.degraded_to_cheapest {
         println!("degraded    fell back to cheapest-category VM (budget exhausted)");
+    }
+    if let Some(tp) = trace_path {
+        let trace = ChromeTrace::from_events(&rec.events);
+        std::fs::write(tp, trace.to_json()).map_err(|e| format!("cannot write {tp}: {e}"))?;
+        eprintln!("wrote {tp}");
+    }
+    if want_ledger {
+        let ledger = BudgetLedger::from_events(&rec.events);
+        println!();
+        print!("{}", ledger.summary());
+        println!(
+            "reconciles  {}",
+            if ledger.reconcile(out.total_cost) { "yes (exact)" } else { "NO" }
+        );
     }
     if !out.lint_violations.is_empty() {
         eprintln!("\nlint violations:");

@@ -33,6 +33,7 @@
 //! assert!(run.within_budget(2.0));
 //! ```
 
+pub use wfs_observe as observe;
 pub use wfs_platform as platform;
 pub use wfs_scheduler as scheduler;
 pub use wfs_simulator as simulator;
@@ -40,17 +41,21 @@ pub use wfs_workflow as workflow;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use wfs_observe::{
+        BudgetLedger, ChromeTrace, Counters, Event, EventSink, Histogram, NoopSink, RecordingSink,
+    };
     pub use wfs_platform::{BillingPolicy, CategoryId, Datacenter, Platform, VmCategory};
     pub use wfs_scheduler::{
         bdt, cg, cg_plus, divide_budget, heft, heft_budg, heft_budg_plus, max_min, max_min_budg,
         min_budget_for_deadline, min_cost_schedule, min_min, min_min_budg, plan_bicriteria,
-        run_online, run_with_recovery, sufferage, sufferage_budg, Algorithm, Bicriteria,
-        OnlineConfig, RecoveryConfig, RecoveryOutcome, RecoveryPolicy, RefineOrder,
+        run_online, run_with_recovery, run_with_recovery_observed, sufferage, sufferage_budg,
+        Algorithm, Bicriteria, OnlineConfig, RecoveryConfig, RecoveryOutcome, RecoveryPolicy,
+        RefineOrder,
     };
     pub use wfs_simulator::{
-        simulate, simulate_with_faults, BootFaultModel, CrashModel, DcCapacity, DegradationModel,
-        FaultConfig, FaultRun, FaultStats, Schedule, SimConfig, SimulationReport, VmId,
-        WeightModel,
+        simulate, simulate_observed, simulate_with_faults, simulate_with_faults_observed,
+        BootFaultModel, CrashModel, DcCapacity, DegradationModel, FaultConfig, FaultRun,
+        FaultStats, Schedule, SimConfig, SimulationReport, VmId, WeightModel,
     };
     pub use wfs_workflow::gen::{
         bag_of_tasks, chain, cybershake, epigenomics, fork_join, layered_random, ligo, montage,

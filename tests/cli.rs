@@ -215,6 +215,82 @@ fn custom_platform_file_is_used() {
 }
 
 #[test]
+fn trace_subcommand_writes_chrome_trace_and_reconciles() {
+    let wf = tmp("t30.json");
+    assert!(wfs(&["gen", "montage", "30", "--seed", "5", "-o", wf.to_str().unwrap()])
+        .status
+        .success());
+
+    // Explicit output path, with ledger and counters.
+    let trace = tmp("t30-explicit.trace.json");
+    let out = wfs(&[
+        "trace",
+        wf.to_str().unwrap(),
+        "--budget",
+        "2.0",
+        "--seed",
+        "3",
+        "--ledger",
+        "--counters",
+        "-o",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("algorithm  HEFTBUDG"), "{text}");
+    assert!(text.contains("makespan"), "{text}");
+    assert!(text.contains("budget ledger"), "{text}");
+    assert!(text.contains("reconciles  yes (exact)"), "{text}");
+    assert!(text.contains("tasks_placed"), "{text}");
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    assert!(!json["traceEvents"].as_array().unwrap().is_empty());
+
+    // Default output path: the workflow file with `.trace.json` extension.
+    let out = wfs(&["trace", wf.to_str().unwrap(), "--budget", "2.0"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(tmp("t30.trace.json").exists());
+
+    // Missing budget and garbage budget are usage errors.
+    assert!(!wfs(&["trace", wf.to_str().unwrap()]).status.success());
+    assert!(!wfs(&["trace", wf.to_str().unwrap(), "--budget", "inf"]).status.success());
+}
+
+#[test]
+fn faults_trace_and_ledger_flags_export_and_reconcile() {
+    let wf = tmp("ft30.json");
+    assert!(wfs(&["gen", "montage", "30", "--seed", "6", "-o", wf.to_str().unwrap()])
+        .status
+        .success());
+    let trace = tmp("ft30.trace.json");
+    let out = wfs(&[
+        "faults",
+        wf.to_str().unwrap(),
+        "--budget",
+        "3.0",
+        "--mtbf",
+        "600",
+        "--boot-fail",
+        "0.15",
+        "--stochastic",
+        "2",
+        "--seed",
+        "9",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--ledger",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("outcome"), "{text}");
+    assert!(text.contains("budget ledger"), "{text}");
+    assert!(text.contains("reconciles  yes (exact)"), "{text}");
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    assert!(!json["traceEvents"].as_array().unwrap().is_empty());
+}
+
+#[test]
 fn faults_subcommand_runs_and_is_deterministic() {
     let wf = tmp("f30.json");
     assert!(wfs(&["gen", "montage", "30", "--seed", "4", "-o", wf.to_str().unwrap()])
